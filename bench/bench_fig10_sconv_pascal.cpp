@@ -1,0 +1,15 @@
+// Figure 10: SCONV performance on the Tesla P100. Paper headline shapes:
+// larger gains than on Maxwell (cuDNN's kernels/heuristics are tailored to
+// Maxwell) — >5x on Conv8, ~70% on Conv13.
+#include "conv_figure.hpp"
+#include "gpusim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac::bench;
+  auto opts = parse_conv_flags(argc, argv, "bench_fig10_sconv_pascal",
+                               "Figure 10: SCONV on Tesla P100 (ISAAC vs cuDNN)");
+  opts.title = "Figure 10 — SCONV performance on the Tesla P100";
+  opts.device = &isaac::gpusim::tesla_p100();
+  opts.tasks = table5_conv_tasks();
+  return run_conv_figure(opts);
+}

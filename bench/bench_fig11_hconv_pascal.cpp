@@ -1,0 +1,15 @@
+// Figure 11: HCONV (fp16) performance on the Tesla P100. Paper headline
+// shape: ISAAC almost consistently faster — it emits fp16x2 tiles across the
+// whole input space while cuDNN's v6 IMPLICIT_PRECOMP_GEMM kernels do not.
+#include "conv_figure.hpp"
+#include "gpusim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac::bench;
+  auto opts = parse_conv_flags(argc, argv, "bench_fig11_hconv_pascal",
+                               "Figure 11: HCONV on Tesla P100 (ISAAC vs cuDNN)");
+  opts.title = "Figure 11 — HCONV performance on the Tesla P100";
+  opts.device = &isaac::gpusim::tesla_p100();
+  opts.tasks = table5_conv_tasks(isaac::gpusim::DataType::F16);
+  return run_conv_figure(opts);
+}

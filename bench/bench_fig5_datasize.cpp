@@ -1,0 +1,73 @@
+// Figure 5: cross-validation MSE vs training-set size. The paper sweeps
+// 1..20 x 10^4 samples with the deepest Table-2 architecture and finds the
+// curve flattens around 15 x 10^4 samples (~6 hours of data collection).
+//
+// Default budget scales the sweep down 10x (2k..20k) so it finishes in
+// minutes; --full reproduces the paper's axis.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "mlp/regressor.hpp"
+#include "tuning/collector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac;
+  CliParser cli("bench_fig5_datasize", "Figure 5: cross-validation MSE vs dataset size");
+  cli.add_flag("full", "paper-scale: up to 200k samples", false);
+  cli.add_int("epochs", "training epochs per point", 8);
+  cli.add_int("seed", "seed", 0x7AB5);
+  if (!cli.parse(argc, argv)) return 0;
+  const bool full = cli.get_flag("full");
+  const std::size_t scale = full ? 10000 : 600;  // x10^4 in the paper (x600 scaled down)
+  const int epochs = static_cast<int>(cli.get_int("epochs"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto& dev = gpusim::tesla_p100();
+  bench::banner("Figure 5 — Cross-validation MSE for various dataset sizes", dev);
+
+  const std::vector<std::size_t> sizes{1, 5, 10, 15, 20};
+  const std::size_t test_n = full ? 10000 : 1500;
+
+  std::fprintf(stderr, "[bench] collecting %zu samples...\n", sizes.back() * scale + test_n);
+  gpusim::Simulator sim(dev, 0.03, seed);
+  tuning::CollectorConfig ccfg;
+  ccfg.num_samples = sizes.back() * scale + test_n;
+  ccfg.seed = seed;
+  auto report = tuning::collect_gemm(sim, ccfg);
+  Rng shuffle_rng(seed);
+  report.dataset.shuffle(shuffle_rng);
+  const auto [test, pool] = report.dataset.split(std::min(test_n, report.dataset.size() / 5));
+
+  Table table({"dataset size", "MSE", "paper MSE (approx)"});
+  const char* paper[] = {"0.16", "0.10", "0.075", "0.065", "0.062"};
+
+  std::vector<double> curve;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = std::min(sizes[i] * scale, pool.size());
+    std::fprintf(stderr, "[bench] training on %zu samples...\n", n);
+    mlp::TrainConfig cfg;
+    cfg.net.hidden = {64, 128, 192, 256, 192, 128, 64};
+    cfg.epochs = epochs;
+    cfg.seed = seed;
+    const auto model = mlp::train(pool.take(n), cfg);
+    const double mse = model.mse(test);
+    curve.push_back(mse);
+    table.add_row({strings::format("%zu x 10^%d", sizes[i], full ? 4 : 3),
+                   Table::fmt_double(mse, 3), paper[i]});
+  }
+
+  table.print(std::cout);
+  const bool decreasing = curve.front() > curve.back();
+  const bool flattens =
+      curve.size() >= 3 &&
+      (curve[curve.size() - 2] - curve.back()) < 0.5 * (curve[0] - curve[1] + 1e-12);
+  std::printf("\nShapes to match: MSE decreases with data and flattens toward the right of\n"
+              "the sweep. decreasing=%s flattening=%s\n", decreasing ? "yes" : "NO",
+              flattens ? "yes" : "NO");
+  return 0;
+}

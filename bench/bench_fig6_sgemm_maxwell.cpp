@@ -1,0 +1,17 @@
+// Figure 6: SGEMM performance on the GTX 980 TI — ISAAC vs cuBLAS heuristics
+// over the Table 4 tasks. Paper headline shapes: ~25% win at 512^3, parity on
+// large squares, ~80% win on DeepBench N=16, order-of-magnitude win on ICA
+// (heuristics mis-select), ~10% on Blocked SVD.
+#include "gemm_figure.hpp"
+#include "gpusim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac::bench;
+  auto opts = parse_figure_flags(argc, argv, "bench_fig6_sgemm_maxwell",
+                                 "Figure 6: SGEMM on GTX 980 TI (ISAAC vs cuBLAS)");
+  opts.title = "Figure 6 — SGEMM performance on the GTX 980 TI";
+  opts.device = &isaac::gpusim::gtx980ti();
+  opts.tasks = table4_gemm_tasks();
+  opts.show_best_kernel = false;
+  return run_gemm_figure(opts);
+}

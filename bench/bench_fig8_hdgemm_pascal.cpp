@@ -1,0 +1,31 @@
+// Figure 8: H/DGEMM performance on the Tesla P100. Half precision for
+// LINPACK and DeepBench (where fp16 suffices), double precision for ICA and
+// Blocked SVD (where fp64 is required). Paper headline shapes: ISAAC ~parity
+// on fp16 LINPACK (cuBLAS has an fp16x2 build there), 2.5-3x on fp16
+// DeepBench (cuBLAS lacks fp16x2 tiles off the LINPACK path), +5% LINPACK /
+// +40% ICA / +15% SVD in fp64.
+#include "gemm_figure.hpp"
+#include "gpusim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac::bench;
+  using isaac::gpusim::DataType;
+  auto opts = parse_figure_flags(argc, argv, "bench_fig8_hdgemm_pascal",
+                                 "Figure 8: H/DGEMM on Tesla P100");
+  opts.title = "Figure 8 — H/DGEMM performance on the Tesla P100";
+  opts.device = &isaac::gpusim::tesla_p100();
+  opts.tasks = table4_gemm_tasks(/*square=*/DataType::F16, /*deepbench=*/DataType::F16,
+                                 /*ica=*/DataType::F64, /*svd=*/DataType::F64);
+  // Double-precision LINPACK rows as well (the paper shows both F64 and F16
+  // LINPACK groups in Fig. 8).
+  auto f64_squares = table4_gemm_tasks(DataType::F64, DataType::F16, DataType::F64,
+                                       DataType::F64);
+  for (auto& t : f64_squares) {
+    if (t.group == "LINPACK") {
+      t.group = "LINPACK [f64]";
+      opts.tasks.push_back(t);
+    }
+  }
+  opts.show_best_kernel = true;
+  return run_gemm_figure(opts);
+}

@@ -1,0 +1,16 @@
+// Figure 9: SCONV performance on the GTX 980 TI — ISAAC vs cuDNN over
+// Table 5's Conv1-14. Paper headline shapes: modest gains on cuDNN's home
+// turf (large NPQ, small K), 1.5-2x on the deep reductions Conv7/Conv8,
+// ~10% when NPQ is small but RS > 1 (Conv13).
+#include "conv_figure.hpp"
+#include "gpusim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac::bench;
+  auto opts = parse_conv_flags(argc, argv, "bench_fig9_sconv_maxwell",
+                               "Figure 9: SCONV on GTX 980 TI (ISAAC vs cuDNN)");
+  opts.title = "Figure 9 — SCONV performance on the GTX 980 TI";
+  opts.device = &isaac::gpusim::gtx980ti();
+  opts.tasks = table5_conv_tasks();
+  return run_conv_figure(opts);
+}

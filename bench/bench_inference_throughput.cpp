@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the §6 runtime-inference claims:
+// the regression model evaluates "very quickly, in parallel, with constant
+// latency" — up to a million configurations per second — while the legality
+// check and the simulator launch stay negligible next to real kernel timing.
+#include <benchmark/benchmark.h>
+
+#include "codegen/gemm.hpp"
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/simulator.hpp"
+#include "mlp/regressor.hpp"
+#include "tuning/collector.hpp"
+#include "tuning/dataset.hpp"
+#include "tuning/search_space.hpp"
+
+namespace {
+
+using namespace isaac;
+
+const mlp::Regressor& model() {
+  static const mlp::Regressor m = [] {
+    gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 9);
+    tuning::CollectorConfig cfg;
+    cfg.num_samples = 1500;
+    cfg.seed = 9;
+    const auto report = tuning::collect_gemm(sim, cfg);
+    mlp::TrainConfig tc;
+    tc.net.hidden = {64, 128, 64};
+    tc.epochs = 6;
+    return mlp::train(report.dataset, tc);
+  }();
+  return m;
+}
+
+codegen::GemmShape bench_shape() {
+  codegen::GemmShape s;
+  s.m = 2560;
+  s.n = 32;
+  s.k = 2560;
+  return s;
+}
+
+void BM_ValidateConfig(benchmark::State& state) {
+  const tuning::GemmSearchSpace space;
+  Rng rng(1);
+  const auto shape = bench_shape();
+  const auto& dev = gpusim::tesla_p100();
+  std::vector<codegen::GemmTuning> configs;
+  for (int i = 0; i < 512; ++i) configs.push_back(space.sample_uniform(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::validate(shape, configs[i++ % configs.size()], dev));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValidateConfig);
+
+void BM_AnalyzeConfig(benchmark::State& state) {
+  const auto shape = bench_shape();
+  const auto& dev = gpusim::tesla_p100();
+  codegen::GemmTuning t;
+  t.ms = 4;
+  t.ns = 4;
+  t.ml = 64;
+  t.nl = 32;
+  t.u = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::analyze(shape, t, dev));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzeConfig);
+
+void BM_SimulatorLaunch(benchmark::State& state) {
+  const auto shape = bench_shape();
+  const auto& dev = gpusim::tesla_p100();
+  gpusim::Simulator sim(dev, 0.03, 3);
+  codegen::GemmTuning t;
+  t.ms = 4;
+  t.ns = 4;
+  t.ml = 64;
+  t.nl = 32;
+  t.u = 8;
+  const auto profile = codegen::analyze(shape, t, dev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.launch(profile));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorLaunch);
+
+void BM_ModelScoring(benchmark::State& state) {
+  // Batched MLP scoring — the paper's "million configurations per second"
+  // claim lives or dies here. items/s in the report = configurations/s.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto shape = bench_shape();
+  const tuning::GemmSearchSpace space;
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    rows.push_back(tuning::features(shape, space.sample_uniform(rng)));
+  }
+  const auto& m = model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict_gflops_batch(rows));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ModelScoring)->Arg(256)->Arg(4096)->Arg(16384);
+
+void BM_GenerativeSampling(benchmark::State& state) {
+  const tuning::GemmSearchSpace space;
+  tuning::CategoricalModel gen(space.domains());
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerativeSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// §8.1 analysis table: ISAAC vs cuBLAS's best kernel on (M,N,K) =
+// (2560, 32, 2560), fp32, Tesla P100 — the deep-dive that explains *why*
+// input-aware tuning wins on skinny DeepBench batches.
+//
+//                 paper:   ISAAC     cuBLAS
+//     TFLOPS              3.73      2.56
+//     ML                  64        128
+//     NL                  32        64
+//     Shared Memory       12.25kB   12.25kB
+//     Registers           72        120
+//     Occupancy           17%       10%
+//     L2 hit rate         32%       24%
+//
+// Shapes to match: ISAAC picks smaller tiles → fewer registers/smem → higher
+// occupancy → better latency hiding, and higher L2 hit rate; cuBLAS's 64-wide
+// N tile assigns threads to a non-existent part of C.
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/cublas_sim.hpp"
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/inference.hpp"
+#include "gpusim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac;
+  CliParser cli("bench_sec81_analysis", "Section 8.1: DeepBench (2560,32,2560) deep dive");
+  cli.add_flag("full", "exhaustive candidate enumeration", false);
+  cli.add_int("seed", "seed", 0x15AAC);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto& dev = gpusim::tesla_p100();
+  bench::banner("Section 8.1 — ISAAC vs cuBLAS best kernel at (2560, 32, 2560)", dev);
+
+  codegen::GemmShape shape;
+  shape.m = 2560;
+  shape.n = 32;
+  shape.k = 2560;
+
+  bench::ModelOptions mo;
+  mo.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto model = bench::gemm_model(dev, mo);
+  const gpusim::Simulator sim(dev, 0.03, mo.seed);
+
+  const auto isaac_result =
+      core::tune_gemm(shape, model, sim, bench::bench_inference(cli.get_flag("full")));
+  const auto& it = isaac_result.best.tuning;
+  const auto isaac_profile = codegen::analyze(shape, it, dev);
+  const auto isaac_perf = sim.evaluate(isaac_profile);
+
+  // The paper's comparator is cuBLAS's best *DeepBench-class* kernel — the
+  // 128x64 tile with reduction splitting (its Table: ML=128, NL=64, split 5).
+  const baselines::CublasSim cublas(dev);
+  baselines::GemmKernel comparator;
+  for (const auto& k : cublas.legal_kernels(shape)) {
+    if (k.name == "gemm_128x64_splitK4") comparator = k;
+  }
+  if (comparator.name.empty()) comparator = cublas.run_best_kernel(sim, shape).kernel;
+  const auto& bt = comparator.tuning;
+  const auto cublas_profile = cublas.profile(shape, comparator);
+  const auto cublas_perf = sim.evaluate(cublas_profile);
+
+  Table table({"", "ISAAC", "cuBLAS (best kernel)", "paper ISAAC", "paper cuBLAS"});
+  auto kb = [](int bytes) { return Table::fmt_double(bytes / 1024.0, 2) + "kB"; };
+  auto pct = [](double x) { return Table::fmt_double(100.0 * x, 0) + "%"; };
+  table.add_row({"TFLOPS", Table::fmt_double(isaac_perf.achieved_tflops, 2),
+                 Table::fmt_double(cublas_perf.achieved_tflops, 2), "3.73", "2.56"});
+  table.add_row({"ML", std::to_string(it.ml), std::to_string(bt.ml), "64", "128"});
+  table.add_row({"NL", std::to_string(it.nl), std::to_string(bt.nl), "32", "64"});
+  table.add_row({"KL*KG (split)", std::to_string(it.kl * it.kg), std::to_string(bt.kl * bt.kg),
+                 "4", "5"});
+  table.add_row({"Shared Memory", kb(isaac_profile.smem_bytes_per_block),
+                 kb(cublas_profile.smem_bytes_per_block), "12.25kB", "12.25kB"});
+  table.add_row({"Registers", std::to_string(isaac_profile.regs_per_thread),
+                 std::to_string(cublas_profile.regs_per_thread), "72", "120"});
+  table.add_row({"Occupancy", pct(isaac_perf.occ.occupancy), pct(cublas_perf.occ.occupancy),
+                 "17%", "10%"});
+  table.add_row({"L2 hit rate", pct(isaac_perf.l2_hit_rate), pct(cublas_perf.l2_hit_rate),
+                 "32%", "24%"});
+  table.print(std::cout);
+
+  const bool shape_holds =
+      isaac_perf.achieved_tflops > cublas_perf.achieved_tflops && it.nl < bt.nl;
+  std::printf("\n[%s] ISAAC beats the 128x64 kernel by choosing a narrower N tile for the\n"
+              "32-wide batch (the paper's core point). Note: our simulated optimum hides\n"
+              "latency through ILP (big micro-tiles, low occupancy) where the paper's\n"
+              "silicon optimum rode occupancy — both are the same Volkov trade-off.\n",
+              shape_holds ? "shape holds" : "shape NOT matched");
+  return 0;
+}

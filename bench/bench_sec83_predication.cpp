@@ -1,0 +1,75 @@
+// §8.3 ablation: why PTX. Predicated bounds checking costs ~2% on a kernel
+// with ragged tiles, where CUDA-C style branchy checks cost 15-20% — the
+// reason the first CUDA-C/OpenCL iteration of ISAAC was deprecated. Padding
+// is the third alternative: clean inner loops, but inflated work + copies.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isaac;
+  CliParser cli("bench_sec83_predication",
+                "Section 8.3: bounds-checking strategy overhead (predicated/branchy/padded)");
+  cli.add_int("seed", "seed", 0x83);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto& dev = gpusim::tesla_p100();
+  bench::banner("Section 8.3 — Advantages of PTX: bounds-checking overhead", dev);
+
+  const gpusim::Simulator sim(dev, 0.0, static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // Ragged shapes across the evaluation regimes (tiles never divide exactly).
+  struct Case {
+    const char* name;
+    std::int64_t m, n, k;
+  };
+  const std::vector<Case> cases = {
+      {"near-LINPACK", 2000, 2000, 2000},
+      {"near-DeepBench", 2500, 30, 2500},
+      {"tall-skinny", 4000, 100, 500},
+  };
+
+  codegen::GemmTuning tuning;
+  tuning.ms = 8;
+  tuning.ns = 8;
+  tuning.ml = 64;
+  tuning.nl = 64;
+  tuning.u = 8;
+  tuning.vec = 4;
+
+  Table table({"shape", "predicated (PTX)", "branchy (CUDA-C)", "padded",
+               "branchy overhead", "paper branchy", "padded overhead"});
+
+  for (const auto& c : cases) {
+    codegen::GemmShape shape;
+    shape.m = c.m;
+    shape.n = c.n;
+    shape.k = c.k;
+    shape.trans_b = true;
+
+    auto run = [&](gpusim::BoundsMode mode) {
+      codegen::GemmTuning t = tuning;
+      t.bounds = mode;
+      const auto profile = codegen::analyze(shape, t, dev);
+      return sim.evaluate(profile).seconds;
+    };
+    const double pred = run(gpusim::BoundsMode::Predicated);
+    const double branchy = run(gpusim::BoundsMode::Branchy);
+    const double padded = run(gpusim::BoundsMode::Padded);
+
+    auto ms = [](double s) { return Table::fmt_double(s * 1e3, 3) + " ms"; };
+    auto pct = [&](double x) { return Table::fmt_double(100.0 * (x / pred - 1.0), 1) + "%"; };
+    table.add_row({c.name, ms(pred), ms(branchy), ms(padded), pct(branchy), "15-20%",
+                   pct(padded)});
+  }
+
+  table.print(std::cout);
+  std::printf("\nShape to match: predication is the cheapest edge-handling strategy;\n"
+              "branchy bounds checks cost an order of magnitude more than predication's\n"
+              "~2%% (§8.3: switching to PTX reduced the overhead from 15-20%% to 2%%).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 3: test-platform hardware. Prints the device descriptors the
+// simulator is built from, row-for-row against the paper's table.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+
+int main() {
+  using namespace isaac;
+  const auto& m = gpusim::gtx980ti();
+  const auto& p = gpusim::tesla_p100();
+
+  std::cout << "Table 3 — Test platforms hardware\n\n";
+  Table table({"", "Maxwell", "Pascal"});
+  table.add_row({"GPU", m.name, p.name});
+  table.add_row({"Market Segment", m.market_segment, p.market_segment});
+  table.add_row({"Micro-architecture", m.chip, p.chip});
+  table.add_row({"CUDA cores", std::to_string(m.num_sms * m.cuda_cores_per_sm),
+                 std::to_string(p.num_sms * p.cuda_cores_per_sm)});
+  table.add_row({"Boost frequency", Table::fmt_double(m.boost_clock_ghz * 1000, 0) + " MHz",
+                 Table::fmt_double(p.boost_clock_ghz * 1000, 0) + " MHz"});
+  table.add_row({"Processing Power", Table::fmt_double(m.peak_sp_tflops, 1) + " TFLOPS",
+                 Table::fmt_double(p.peak_sp_tflops, 1) + " TFLOPS"});
+  table.add_row({"Memory quantity", Table::fmt_double(m.memory_gb, 0) + " GB",
+                 Table::fmt_double(p.memory_gb, 0) + " GB"});
+  table.add_row({"Memory Type", m.memory_type, p.memory_type});
+  table.add_row({"Memory Bandwidth", Table::fmt_double(m.dram_bandwidth_gbs, 0) + " GB/s",
+                 Table::fmt_double(p.dram_bandwidth_gbs, 0) + " GB/s"});
+  table.add_row({"TDP", std::to_string(m.tdp_watts) + "W", std::to_string(p.tdp_watts) + "W"});
+  table.print(std::cout);
+
+  std::cout << "\nSimulator micro-architectural parameters (not in the paper's table):\n\n";
+  Table micro({"", "Maxwell", "Pascal"});
+  micro.add_row({"SMs", std::to_string(m.num_sms), std::to_string(p.num_sms)});
+  micro.add_row({"smem/SM", std::to_string(m.smem_per_sm_bytes / 1024) + " KiB",
+                 std::to_string(p.smem_per_sm_bytes / 1024) + " KiB"});
+  micro.add_row({"registers/SM", std::to_string(m.registers_per_sm),
+                 std::to_string(p.registers_per_sm)});
+  micro.add_row({"fp16x2 rate", Table::fmt_double(m.fp16x2_ratio, 2) + "x",
+                 Table::fmt_double(p.fp16x2_ratio, 2) + "x"});
+  micro.add_row({"fp64 rate", "1/32", "1/2"});
+  micro.add_row({"mem latency", Table::fmt_double(m.mem_latency_cycles, 0) + " cyc",
+                 Table::fmt_double(p.mem_latency_cycles, 0) + " cyc"});
+  micro.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,182 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "mlp/regressor.hpp"
+#include "tuning/collector.hpp"
+
+namespace isaac::bench {
+
+namespace {
+
+codegen::GemmShape gemm(std::int64_t m, std::int64_t n, std::int64_t k, bool ta, bool tb,
+                        gpusim::DataType dt) {
+  codegen::GemmShape s;
+  s.m = m;
+  s.n = n;
+  s.k = k;
+  s.trans_a = ta;
+  s.trans_b = tb;
+  s.dtype = dt;
+  return s;
+}
+
+}  // namespace
+
+std::vector<GemmTask> table4_gemm_tasks(gpusim::DataType dt_square, gpusim::DataType dt_db,
+                                        gpusim::DataType dt_ica, gpusim::DataType dt_svd) {
+  std::vector<GemmTask> tasks;
+  // LINPACK: square, (N, T).
+  for (std::int64_t s : {512, 1024, 2048}) {
+    tasks.push_back({"LINPACK", strings::format("M=N=K=%lld", static_cast<long long>(s)),
+                     gemm(s, s, s, false, true, dt_square)});
+  }
+  // DeepBench forward: (N, N), M=K=2560, N sweeps the batch size.
+  for (std::int64_t n : {16, 32, 64, 128}) {
+    tasks.push_back({"DeepBench [F]", strings::format("N=%lld", static_cast<long long>(n)),
+                     gemm(2560, n, 2560, false, false, dt_db)});
+  }
+  // DeepBench backward: (T, N).
+  for (std::int64_t n : {16, 32, 64, 128}) {
+    tasks.push_back({"DeepBench [B]", strings::format("N=%lld", static_cast<long long>(n)),
+                     gemm(2560, n, 2560, true, false, dt_db)});
+  }
+  // ICA: M=N=channels, K=60000, (N, T). Table 4 lists 32/64/256 channels.
+  for (std::int64_t c : {32, 64, 256}) {
+    tasks.push_back({"ICA", strings::format("M=N=%lld", static_cast<long long>(c)),
+                     gemm(c, c, 60000, false, true, dt_ica)});
+  }
+  // Blocked SVD: K=32 panels, (N, T).
+  for (std::int64_t s : {896, 2048, 4096}) {
+    tasks.push_back({"Blocked SVD", strings::format("M=N=%lld", static_cast<long long>(s)),
+                     gemm(s, s, 32, false, true, dt_svd)});
+  }
+  return tasks;
+}
+
+std::vector<ConvTask> table5_conv_tasks(gpusim::DataType dtype) {
+  using S = codegen::ConvShape;
+  struct Row {
+    const char* group;
+    int n, p, q, k, c, r, s;
+  };
+  // Exactly Table 5 of the paper.
+  const Row rows[] = {
+      {"DeepSpeech", 16, 79, 341, 32, 1, 5, 20},
+      {"DeepSpeech", 16, 38, 166, 32, 32, 5, 10},
+      {"OCR", 16, 24, 240, 32, 16, 3, 3},
+      {"OCR", 16, 12, 120, 64, 32, 3, 3},
+      {"Face Recognition", 8, 54, 54, 64, 64, 3, 3},
+      {"Face Recognition", 8, 27, 27, 128, 128, 3, 3},
+      {"Face Recognition", 16, 14, 14, 48, 512, 5, 5},
+      {"Face Recognition", 16, 7, 7, 128, 832, 5, 5},
+      {"Vision", 8, 112, 112, 128, 64, 3, 3},
+      {"Vision", 8, 56, 56, 256, 128, 3, 3},
+      {"Speaker ID", 16, 128, 39, 174, 64, 5, 5},
+      {"Speaker ID", 16, 256, 19, 87, 128, 5, 5},
+      {"ResNET", 16, 7, 7, 512, 512, 3, 3},
+      {"ResNET", 16, 7, 7, 2048, 1024, 1, 1},
+  };
+  std::vector<ConvTask> tasks;
+  int index = 1;
+  for (const Row& r : rows) {
+    S shape = S::from_npq(r.n, r.p, r.q, r.k, r.c, r.r, r.s, dtype);
+    tasks.push_back({r.group, strings::format("Conv%d", index++), shape});
+  }
+  return tasks;
+}
+
+namespace {
+
+std::string cache_path(const char* kind, const gpusim::DeviceDescriptor& dev,
+                       const ModelOptions& opts) {
+  std::string hidden;
+  for (int h : opts.hidden) hidden += strings::format("-%d", h);
+  std::string dev_name = dev.name;
+  for (char& c : dev_name) {
+    if (c == ' ' || c == '(' || c == ')') c = '_';
+  }
+  return strings::format("isaac_bench_cache/%s_%s_s%zu_e%d%s.model", kind, dev_name.c_str(),
+                         opts.samples, opts.epochs, hidden.c_str());
+}
+
+template <typename CollectFn>
+mlp::Regressor model_impl(const char* kind, const gpusim::DeviceDescriptor& dev,
+                          const ModelOptions& opts, const CollectFn& collect) {
+  const std::string path = cache_path(kind, dev, opts);
+  {
+    std::ifstream is(path);
+    if (is) {
+      try {
+        return mlp::Regressor::load(is);
+      } catch (const std::exception&) {
+        // fall through to retrain
+      }
+    }
+  }
+
+  std::fprintf(stderr, "[bench] training %s model for %s (%zu samples, %d epochs)...\n", kind,
+               dev.name.c_str(), opts.samples, opts.epochs);
+  gpusim::Simulator sim(dev, 0.03, opts.seed);
+  tuning::CollectorConfig cfg;
+  cfg.num_samples = opts.samples;
+  cfg.seed = opts.seed;
+  const auto report = collect(sim, cfg);
+
+  mlp::TrainConfig tc;
+  tc.net.hidden = opts.hidden;
+  tc.epochs = opts.epochs;
+  tc.seed = opts.seed;
+  mlp::Regressor model = mlp::train(report.dataset, tc);
+
+  std::error_code ec;
+  std::filesystem::create_directories("isaac_bench_cache", ec);
+  std::ofstream os(path);
+  if (os) model.save(os);
+  return model;
+}
+
+}  // namespace
+
+mlp::Regressor gemm_model(const gpusim::DeviceDescriptor& dev, const ModelOptions& opts) {
+  return model_impl("gemm", dev, opts, [](const gpusim::Simulator& sim,
+                                          const tuning::CollectorConfig& cfg) {
+    return tuning::collect_gemm(sim, cfg);
+  });
+}
+
+mlp::Regressor conv_model(const gpusim::DeviceDescriptor& dev, const ModelOptions& opts) {
+  return model_impl("conv", dev, opts, [](const gpusim::Simulator& sim,
+                                          const tuning::CollectorConfig& cfg) {
+    return tuning::collect_conv(sim, cfg);
+  });
+}
+
+core::InferenceConfig bench_inference(bool full) {
+  core::InferenceConfig cfg;
+  // Re-timing candidates on the simulated device is cheap (microseconds per
+  // launch), so the benches re-evaluate generously — the paper's "100 (or
+  // more) fastest configurations".
+  cfg.top_k = full ? 400 : 200;
+  cfg.reeval_reps = 5;
+  cfg.max_candidates = full ? 0 : 60000;
+  return cfg;
+}
+
+std::string tflops(double gflops) {
+  return strings::format("%6.2f", gflops / 1000.0);
+}
+
+void banner(const std::string& title, const gpusim::DeviceDescriptor& dev) {
+  std::printf("=======================================================================\n");
+  std::printf("  %s\n", title.c_str());
+  std::printf("  device: %s (%s, %.1f SP TFLOPS peak, %.0f GB/s)\n", dev.name.c_str(),
+              dev.chip.c_str(), dev.peak_sp_tflops, dev.dram_bandwidth_gbs);
+  std::printf("=======================================================================\n");
+}
+
+}  // namespace isaac::bench

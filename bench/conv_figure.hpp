@@ -1,0 +1,25 @@
+// Shared driver for the CONV figures (Fig. 9, 10, 11): Table 5's Conv1–14
+// through ISAAC's runtime inference vs the simulated cuDNN heuristics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace isaac::bench {
+
+struct ConvFigureOptions {
+  std::string title;
+  const gpusim::DeviceDescriptor* device = nullptr;
+  std::vector<ConvTask> tasks;
+  bool full = false;
+  std::uint64_t seed = 0x15AAC;
+};
+
+int run_conv_figure(const ConvFigureOptions& options);
+
+ConvFigureOptions parse_conv_flags(int argc, char** argv, const std::string& program,
+                                   const std::string& description);
+
+}  // namespace isaac::bench

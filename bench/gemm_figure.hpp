@@ -1,0 +1,29 @@
+// Shared driver for the SGEMM/H-DGEMM figures (Fig. 6, 7, 8): runs every
+// Table 4 task through ISAAC's runtime inference and the simulated cuBLAS
+// (heuristics + optional Best-Kernel bypass) and prints the figure's series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace isaac::bench {
+
+struct GemmFigureOptions {
+  std::string title;
+  const gpusim::DeviceDescriptor* device = nullptr;
+  std::vector<GemmTask> tasks;
+  bool show_best_kernel = false;  // Fig. 7/8 include the cublasGemmEx bypass
+  bool full = false;
+  std::uint64_t seed = 0x15AAC;
+};
+
+/// Runs the figure; returns process exit code.
+int run_gemm_figure(const GemmFigureOptions& options);
+
+/// Parse the standard figure flags (--full, --seed).
+GemmFigureOptions parse_figure_flags(int argc, char** argv, const std::string& program,
+                                     const std::string& description);
+
+}  // namespace isaac::bench

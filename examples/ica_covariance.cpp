@@ -1,0 +1,75 @@
+// Independent Component Analysis front end: whitening needs the channel
+// covariance C = X · X^T / T for a few dozen channels over tens of thousands
+// of time samples — the deep-reduction GEMM regime (M = N = channels << K)
+// where the paper reports order-of-magnitude wins over mis-selected vendor
+// kernels (§7.3 ICA).
+//
+// Build & run:   ./build/examples/ica_covariance
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/isaac.hpp"
+#include "gpusim/device.hpp"
+
+int main() {
+  using namespace isaac;
+
+  core::ContextOptions options;
+  options.inference.max_candidates = 30000;
+  options.inference.top_k = 100;
+  core::Context ctx(gpusim::tesla_p100(), options);
+  std::printf("training the input-aware model...\n");
+  ctx.train_model(/*samples=*/4000, /*epochs=*/10);
+
+  const std::int64_t channels = 64;
+  const std::int64_t samples = 20000;  // EEG-style recording length
+
+  // X is channels x samples, column-major. Two correlated source mixtures.
+  Rng rng(42);
+  std::vector<float> x(static_cast<std::size_t>(channels * samples));
+  for (std::int64_t t = 0; t < samples; ++t) {
+    const float s1 = static_cast<float>(std::sin(0.05 * static_cast<double>(t)));
+    const float s2 = static_cast<float>(rng.normal(0.0, 1.0));
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const float mix = static_cast<float>(c + 1) / static_cast<float>(channels);
+      x[static_cast<std::size_t>(c + t * channels)] =
+          mix * s1 + (1.0f - mix) * s2 + static_cast<float>(rng.normal(0.0, 0.05));
+    }
+  }
+
+  // Covariance via the tuned deep-reduction GEMM: C = (1/T) X X^T.
+  // Shape (M, N, K) = (channels, channels, samples), layout (N, T).
+  codegen::GemmShape shape;
+  shape.m = channels;
+  shape.n = channels;
+  shape.k = samples;
+  shape.trans_b = true;
+
+  std::vector<float> cov(static_cast<std::size_t>(channels * channels), 0.0f);
+  const auto info = ctx.gemm(shape, 1.0f / static_cast<float>(samples), x.data(), channels,
+                             x.data(), channels, 0.0f, cov.data(), channels);
+
+  std::printf("\ncovariance GEMM (%lldx%lld over K=%lld):\n", static_cast<long long>(channels),
+              static_cast<long long>(channels), static_cast<long long>(samples));
+  std::printf("selected kernel : %s\n", info.tuning.to_string().c_str());
+  std::printf("  (note KL/KG — the tuner splits the deep reduction, the technique the\n"
+              "   paper finds missing from vendor heuristics in exactly this regime)\n");
+  std::printf("simulated time  : %.1f us  (%.2f TFLOPS)\n", info.simulated_seconds * 1e6,
+              info.gflops / 1000.0);
+
+  // Sanity: the diagonal dominates and the matrix is symmetric.
+  double max_asym = 0.0;
+  for (std::int64_t i = 0; i < channels; ++i) {
+    for (std::int64_t j = 0; j < channels; ++j) {
+      max_asym = std::max(
+          max_asym, static_cast<double>(std::abs(
+                        cov[static_cast<std::size_t>(i + j * channels)] -
+                        cov[static_cast<std::size_t>(j + i * channels)])));
+    }
+  }
+  std::printf("covariance diag[0] = %.4f, max |C - C^T| = %.2e\n",
+              cov[0], max_asym);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Simulated cuDNN: IMPLICIT_PRECOMP_GEMM convolution with a fixed kernel set
+// and heuristics tuned for Maxwell + DeepBench-like shapes (paper §7.4:
+// "cuDNN was optimized from the ground up with both Maxwell and
+// DeepBench-like problems in mind (large NPQ, small K, intermediate CRS)").
+//
+// Deliberate characteristics, mirroring what the paper observed:
+//   * no reduction splitting along C·R·S (C_G = C_L = 1 in every kernel), so
+//     the deep reductions of Conv7/Conv8 are latency-bound (§7.4.1);
+//   * shared-memory staging sized against Maxwell's 96 KiB SMs; on Pascal's
+//     64 KiB SMs the same kernels lose an occupancy step (§7.4.2: "cuDNN's
+//     heuristics and kernels being tailored to Maxwell rather than Pascal");
+//   * selection thresholds were tuned once on Maxwell and are reused
+//     verbatim on Pascal;
+//   * no fp16x2 builds: half precision runs at scalar rate (§7.4.2 HCONV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/conv.hpp"
+#include "gpusim/simulator.hpp"
+
+namespace isaac::baselines {
+
+struct ConvKernel {
+  std::string name;
+  codegen::ConvTuning tuning;
+};
+
+struct ConvBaselineRun {
+  bool valid = false;
+  ConvKernel kernel;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  gpusim::PerfBreakdown breakdown;
+};
+
+class CudnnSim {
+ public:
+  explicit CudnnSim(const gpusim::DeviceDescriptor& dev);
+
+  const std::vector<ConvKernel>& kernel_set() const noexcept { return kernels_; }
+  std::vector<ConvKernel> legal_kernels(const codegen::ConvShape& shape) const;
+
+  /// Heuristic selection (IMPLICIT_PRECOMP_GEMM path).
+  ConvKernel choose(const codegen::ConvShape& shape) const;
+
+  gpusim::KernelProfile profile(const codegen::ConvShape& shape,
+                                const ConvKernel& kernel) const;
+
+  ConvBaselineRun run_heuristic(const gpusim::Simulator& sim, const codegen::ConvShape& shape,
+                                int reps = 5) const;
+
+ private:
+  const gpusim::DeviceDescriptor& dev_;
+  std::vector<ConvKernel> kernels_;
+};
+
+}  // namespace isaac::baselines

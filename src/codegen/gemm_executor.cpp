@@ -1,0 +1,201 @@
+#include "codegen/gemm_executor.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace isaac::codegen {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+/// One mutex per C tile row-stripe serializes split-reduction accumulation
+/// (the functional analogue of global atomics).
+constexpr int kNumLocks = 64;
+
+template <typename T>
+struct GemmRun {
+  const GemmShape& shape;
+  const GemmTuning& tuning;
+  T alpha;
+  const T* a;
+  std::int64_t lda;
+  const T* b;
+  std::int64_t ldb;
+  T beta;
+  T* c;
+  std::int64_t ldc;
+
+  // op(A)(m, k): column-major A (M×K) when !trans_a, else stored K×M.
+  T load_a(std::int64_t m, std::int64_t k) const {
+    return shape.trans_a ? a[k + m * lda] : a[m + k * lda];
+  }
+  // op(B)(k, n): column-major B (K×N) when !trans_b, else stored N×K.
+  T load_b(std::int64_t k, std::int64_t n) const {
+    return shape.trans_b ? b[n + k * ldb] : b[k + n * ldb];
+  }
+};
+
+/// Execute one thread block: stage the k-major tiles round by round exactly
+/// as the PTX kernel does (including zero-fill of predicated-off lanes), run
+/// the per-thread micro-tiles, then accumulate into C.
+template <typename T>
+void run_block(const GemmRun<T>& run, std::int64_t tile_m, std::int64_t tile_n,
+               std::int64_t slice_g, std::vector<std::mutex>& locks) {
+  const GemmShape& s = run.shape;
+  const GemmTuning& t = run.tuning;
+
+  const std::int64_t m0 = tile_m * t.ml;
+  const std::int64_t n0 = tile_n * t.nl;
+  const std::int64_t k_eff = ceil_div(s.k, t.kg);
+  const std::int64_t k0 = slice_g * k_eff;
+  const std::int64_t k1 = std::min<std::int64_t>(s.k, k0 + k_eff);
+  if (k0 >= k1) return;  // empty slice (K not divisible by KG)
+
+  // "Shared memory": k-major staging tiles [U*KL][ML] and [U*KL][NL].
+  const int depth = t.u * t.kl;
+  std::vector<T> smem_a(static_cast<std::size_t>(depth) * t.ml);
+  std::vector<T> smem_b(static_cast<std::size_t>(depth) * t.nl);
+
+  // Per-block accumulator tile (covers the KL groups' partials; the PTX
+  // kernel holds these in registers + a shared-memory reduction).
+  std::vector<T> acc(static_cast<std::size_t>(t.ml) * t.nl, T(0));
+
+  for (std::int64_t kk = k0; kk < k1; kk += depth) {
+    // Cooperative, predicated prefetch: out-of-range lanes stage zeros,
+    // exactly like the @p-guarded loads with pre-zeroed registers.
+    for (int d = 0; d < depth; ++d) {
+      const std::int64_t k = kk + d;
+      const bool k_ok = k < k1;
+      for (int i = 0; i < t.ml; ++i) {
+        const std::int64_t m = m0 + i;
+        smem_a[static_cast<std::size_t>(d) * t.ml + i] =
+            (k_ok && m < s.m) ? run.load_a(m, k) : T(0);
+      }
+      for (int j = 0; j < t.nl; ++j) {
+        const std::int64_t n = n0 + j;
+        smem_b[static_cast<std::size_t>(d) * t.nl + j] =
+            (k_ok && n < s.n) ? run.load_b(k, n) : T(0);
+      }
+    }
+    // Inner product over the staged depth (all KL groups' slices).
+    for (int d = 0; d < depth; ++d) {
+      const T* arow = smem_a.data() + static_cast<std::size_t>(d) * t.ml;
+      const T* brow = smem_b.data() + static_cast<std::size_t>(d) * t.nl;
+      for (int j = 0; j < t.nl; ++j) {
+        const T bv = brow[j];
+        if (bv == T(0)) continue;
+        T* acol = acc.data() + static_cast<std::size_t>(j) * t.ml;
+        for (int i = 0; i < t.ml; ++i) acol[i] += arow[i] * bv;
+      }
+    }
+  }
+
+  // Epilogue: predicated stores; KG>1 accumulates (atomics analogue).
+  const std::size_t lock_idx =
+      static_cast<std::size_t>((tile_m * 31 + tile_n) % kNumLocks);
+  std::unique_lock<std::mutex> guard(locks[lock_idx], std::defer_lock);
+  if (run.tuning.kg > 1) guard.lock();
+
+  for (int j = 0; j < t.nl; ++j) {
+    const std::int64_t n = n0 + j;
+    if (n >= s.n) continue;
+    for (int i = 0; i < t.ml; ++i) {
+      const std::int64_t m = m0 + i;
+      if (m >= s.m) continue;
+      run.c[m + n * run.ldc] +=
+          run.alpha * acc[static_cast<std::size_t>(j) * t.ml + i];
+    }
+  }
+}
+
+template <typename T>
+void execute_impl(const GemmShape& shape, const GemmTuning& tuning, T alpha, const T* a,
+                  std::int64_t lda, const T* b, std::int64_t ldb, T beta, T* c,
+                  std::int64_t ldc) {
+  if (shape.m <= 0 || shape.n <= 0 || shape.k <= 0) {
+    throw std::invalid_argument("execute_gemm: empty problem");
+  }
+  if (tuning.ml % tuning.ms != 0 || tuning.nl % tuning.ns != 0) {
+    throw std::invalid_argument("execute_gemm: tile divisibility violated");
+  }
+  const std::int64_t min_lda = shape.trans_a ? shape.k : shape.m;
+  const std::int64_t min_ldb = shape.trans_b ? shape.n : shape.k;
+  if (lda < min_lda || ldb < min_ldb || ldc < shape.m) {
+    throw std::invalid_argument("execute_gemm: leading dimension too small");
+  }
+
+  // beta pass first (the zero-init / scale kernel that precedes KG-split
+  // accumulation; for KG==1 it is fused but semantically identical).
+  ThreadPool::global().parallel_for_each(static_cast<std::size_t>(shape.n), [&](std::size_t n) {
+    T* col = c + static_cast<std::int64_t>(n) * ldc;
+    if (beta == T(0)) {
+      std::fill_n(col, shape.m, T(0));
+    } else if (beta != T(1)) {
+      for (std::int64_t m = 0; m < shape.m; ++m) col[m] *= beta;
+    }
+  });
+
+  const std::int64_t grid_m = ceil_div(shape.m, tuning.ml);
+  const std::int64_t grid_n = ceil_div(shape.n, tuning.nl);
+  const std::int64_t blocks = grid_m * grid_n * tuning.kg;
+
+  GemmRun<T> run{shape, tuning, alpha, a, lda, b, ldb, beta, c, ldc};
+  std::vector<std::mutex> locks(kNumLocks);
+
+  ThreadPool::global().parallel_for_each(static_cast<std::size_t>(blocks), [&](std::size_t bi) {
+    // n-fastest, then m, then the KG slice (matches the scheduling order the
+    // analyzer assumes for its reuse hints).
+    const std::int64_t tn = static_cast<std::int64_t>(bi) % grid_n;
+    const std::int64_t tm = (static_cast<std::int64_t>(bi) / grid_n) % grid_m;
+    const std::int64_t g = static_cast<std::int64_t>(bi) / (grid_n * grid_m);
+    run_block(run, tm, tn, g, locks);
+  });
+}
+
+template <typename T>
+void reference_impl(const GemmShape& shape, T alpha, const T* a, std::int64_t lda, const T* b,
+                    std::int64_t ldb, T beta, T* c, std::int64_t ldc) {
+  for (std::int64_t n = 0; n < shape.n; ++n) {
+    for (std::int64_t m = 0; m < shape.m; ++m) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < shape.k; ++k) {
+        const T av = shape.trans_a ? a[k + m * lda] : a[m + k * lda];
+        const T bv = shape.trans_b ? b[n + k * ldb] : b[k + n * ldb];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[m + n * ldc] = alpha * static_cast<T>(acc) + beta * c[m + n * ldc];
+    }
+  }
+}
+
+}  // namespace
+
+void execute_gemm(const GemmShape& shape, const GemmTuning& tuning, float alpha, const float* a,
+                  std::int64_t lda, const float* b, std::int64_t ldb, float beta, float* c,
+                  std::int64_t ldc) {
+  execute_impl(shape, tuning, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void execute_gemm(const GemmShape& shape, const GemmTuning& tuning, double alpha,
+                  const double* a, std::int64_t lda, const double* b, std::int64_t ldb,
+                  double beta, double* c, std::int64_t ldc) {
+  execute_impl(shape, tuning, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void reference_gemm(const GemmShape& shape, float alpha, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  reference_impl(shape, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void reference_gemm(const GemmShape& shape, double alpha, const double* a, std::int64_t lda,
+                    const double* b, std::int64_t ldb, double beta, double* c,
+                    std::int64_t ldc) {
+  reference_impl(shape, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // namespace isaac::codegen

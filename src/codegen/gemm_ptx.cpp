@@ -1,0 +1,314 @@
+#include "codegen/gemm_ptx.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+#include "ptx/builder.hpp"
+
+namespace isaac::codegen {
+
+using ptx::Cmp;
+using ptx::KernelBuilder;
+using ptx::Operand;
+using ptx::SReg;
+using ptx::Type;
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+Operand imm32(std::int64_t v) { return Operand::make_imm(v, Type::S32); }
+
+}  // namespace
+
+ptx::Kernel generate_gemm_ptx(const GemmShape& shape, const GemmTuning& tuning) {
+  if (shape.dtype == gpusim::DataType::F16) {
+    throw std::invalid_argument("generate_gemm_ptx: f16 kernels are profile-only");
+  }
+  if (tuning.ml % tuning.ms != 0 || tuning.nl % tuning.ns != 0) {
+    throw std::invalid_argument("generate_gemm_ptx: tile divisibility violated");
+  }
+  const Type ft = shape.dtype == gpusim::DataType::F64 ? Type::F64 : Type::F32;
+  const int ds = static_cast<int>(ptx::type_bytes(ft));
+  const int threads = tuning.threads_per_block();
+  const int rm = tuning.ml / tuning.ms;  // threads along M
+  const int rn = tuning.nl / tuning.ns;  // threads along N
+  const int depth = tuning.u * tuning.kl;
+  const std::int64_t elems_a = static_cast<std::int64_t>(tuning.ml) * depth;
+  const std::int64_t elems_b = static_cast<std::int64_t>(tuning.nl) * depth;
+  if (elems_a % threads != 0 || elems_b % threads != 0) {
+    throw std::invalid_argument("generate_gemm_ptx: prefetch does not divide among threads");
+  }
+  const int epa = static_cast<int>(elems_a / threads);
+  const int epb = static_cast<int>(elems_b / threads);
+
+  KernelBuilder b(strings::format("isaac_gemm_%s_%c%c_%dx%dx%d_%d_%d_%d",
+                                  gpusim::dtype_name(shape.dtype), shape.trans_a ? 't' : 'n',
+                                  shape.trans_b ? 't' : 'n', tuning.ml, tuning.nl, tuning.u,
+                                  tuning.ms, tuning.ns, tuning.kl));
+
+  const int pA = b.add_param("A");
+  const int pB = b.add_param("B");
+  const int pC = b.add_param("C");
+  const int pM = b.add_param("M", false);
+  const int pN = b.add_param("N", false);
+  const int pK = b.add_param("K", false);
+  const int pLDA = b.add_param("LDA", false);
+  const int pLDB = b.add_param("LDB", false);
+  const int pLDC = b.add_param("LDC", false);
+  const int pKEFF = b.add_param("KEFF", false);
+
+  // Shared staging tiles (k-major) — the epilogue reuses the same space.
+  const int smem_a = b.alloc_shared(static_cast<int>(elems_a) * ds);
+  const int smem_b_off = b.alloc_shared(static_cast<int>(elems_b) * ds);
+  const int smem_red =
+      tuning.kl > 1
+          ? b.alloc_shared(static_cast<int>(static_cast<std::int64_t>(tuning.ml) * tuning.nl *
+                                            ds))
+          : 0;
+
+  // ---- prologue: identities -------------------------------------------------
+  const Operand baseA = b.ld_param(Type::U64, pA, "A base pointer");
+  const Operand baseB = b.ld_param(Type::U64, pB);
+  const Operand baseC = b.ld_param(Type::U64, pC);
+  const Operand M = b.cvt(Type::S32, b.ld_param(Type::U64, pM));
+  const Operand N = b.cvt(Type::S32, b.ld_param(Type::U64, pN));
+  const Operand K = b.cvt(Type::S32, b.ld_param(Type::U64, pK));
+  const Operand lda = b.cvt(Type::S32, b.ld_param(Type::U64, pLDA));
+  const Operand ldb = b.cvt(Type::S32, b.ld_param(Type::U64, pLDB));
+  const Operand ldc = b.cvt(Type::S32, b.ld_param(Type::U64, pLDC));
+  const Operand keff = b.cvt(Type::S32, b.ld_param(Type::U64, pKEFF));
+
+  const Operand tid = b.special(SReg::TidX);
+  const Operand ctam = b.special(SReg::CtaIdX);
+  const Operand ctan = b.special(SReg::CtaIdY);
+  const Operand ctag = b.special(SReg::CtaIdZ);
+
+  const Operand tx = b.rem(tid, imm32(rm));
+  const Operand ty = b.rem(b.div(tid, imm32(rm)), imm32(rn));
+  const Operand tz = b.div(tid, imm32(rm * rn));  // K_L group index
+
+  const Operand m_block = b.mul(ctam, imm32(tuning.ml));  // first row of this block
+  const Operand n_block = b.mul(ctan, imm32(tuning.nl));
+
+  // Reduction slice [k0, k1).
+  const Operand k0 = b.mul(ctag, keff);
+  const Operand k1 = b.min(K, b.add(k0, keff));
+  b.comment("reduction slice bounds");
+
+  // Accumulators (zero-initialized).
+  std::vector<Operand> acc(static_cast<std::size_t>(tuning.ms) * tuning.ns);
+  for (auto& r : acc) r = b.mov_fimm(ft, 0.0);
+
+  // Inner-loop shared read bases (depend only on thread identity).
+  //   A reads at ((tz*U + d)*ML + tx*MS + i) * ds
+  //   B reads at ((tz*U + d)*NL + ty*NS + j) * ds
+  const Operand a_inner =
+      b.add(b.mul(b.mul(tz, imm32(tuning.u)), imm32(tuning.ml * ds)),
+            b.add(b.mul(tx, imm32(tuning.ms * ds)), imm32(smem_a)));
+  const Operand b_inner =
+      b.add(b.mul(b.mul(tz, imm32(tuning.u)), imm32(tuning.nl * ds)),
+            b.add(b.mul(ty, imm32(tuning.ns * ds)), imm32(smem_b_off)));
+
+  // Loop cursor.
+  const Operand kk = b.new_reg(Type::S32);
+  b.mov(kk, k0);
+
+  // Empty-slice guard (possible when K % KG != 0): skip the whole loop.
+  {
+    const Operand enter = b.setp(Cmp::Lt, kk, k1);
+    b.bra("EPILOGUE", enter.reg, /*negate=*/true);
+  }
+
+  b.label("LOOP_K");
+
+  // ---- cooperative prefetch -------------------------------------------------
+  // Each thread stages epa elements of A and epb of B; out-of-range lanes
+  // stage zeros (mov 0 + predicated load), the predication trick of §8.3.
+  auto stage = [&](bool is_a) {
+    const int per_thread = is_a ? epa : epb;
+    const int tile_w = is_a ? tuning.ml : tuning.nl;  // contiguous dim of smem tile
+    const int smem_base = is_a ? smem_a : smem_b_off;
+    const Operand& base = is_a ? baseA : baseB;
+    const Operand& ld = is_a ? lda : ldb;
+    const Operand& edge = is_a ? M : N;      // bound on the non-K dim
+    const Operand& origin = is_a ? m_block : n_block;
+    const bool transposed_layout = is_a ? shape.trans_a : shape.trans_b;
+
+    for (int e = 0; e < per_thread; ++e) {
+      // idx enumerates the tile in w-major order: w = idx % tile_w (position
+      // along ML or NL), d = idx / tile_w (position along the staged depth).
+      const Operand idx = b.add(tid, imm32(e * threads));
+      const Operand w = b.rem(idx, imm32(tile_w));
+      const Operand d = b.div(idx, imm32(tile_w));
+      const Operand gw = b.add(origin, w);   // global m (or n)
+      const Operand gk = b.add(kk, d);       // global k
+
+      // pred = (gw < edge) && (gk < k1)
+      const Operand p = b.new_pred();
+      b.mov(p, Operand::make_imm(0, Type::Pred));
+      const Operand p_w = b.setp(Cmp::Lt, gw, edge);
+      {
+        // @p_w setp: p = gk < k1
+        const Operand tmp = b.setp(Cmp::Lt, gk, k1);
+        // combine via predicated copy: @p_w mov p, tmp
+        b.mov(p, tmp);
+        b.predicate_last(p_w);
+      }
+
+      // Global element index, column-major with the op() layout:
+      //   A 'N': (gm, gk) at gm + gk*LDA      A 'T': stored K×M: gk + gm*LDA
+      //   B 'N': (gk, gn) at gk + gn*LDB      B 'T': stored N×K: gn + gk*LDB
+      Operand elem;
+      if (is_a) {
+        elem = transposed_layout ? b.mad(gw, ld, gk) : b.mad(gk, ld, gw);
+      } else {
+        elem = transposed_layout ? b.mad(gk, ld, gw) : b.mad(gw, ld, gk);
+      }
+      const Operand byte = b.mul(b.cvt_u64(elem), Operand::make_imm(ds, Type::U64));
+      const Operand addr = b.add(base, byte);
+
+      // Zero-filled predicated load (the §8.3 predication idiom). The load
+      // writes v in place: predicated-off lanes keep the zero.
+      const Operand v = b.new_reg(ft);
+      b.mov(v, Operand::make_fimm(0.0, ft));
+      b.ld_global_into(v, addr, 0, p.reg);
+
+      // Store k-major: smem[(d*tile_w + w) * ds].
+      const Operand soff =
+          b.add(b.mad(d, imm32(tile_w * ds), b.mul(w, imm32(ds))), imm32(smem_base));
+      b.st_shared(ft, soff, v);
+    }
+  };
+  stage(/*is_a=*/true);
+  stage(/*is_a=*/false);
+  b.bar_sync();
+
+  // ---- fully unrolled inner product ----------------------------------------
+  // Each K_L group consumes its own U-deep slice of the staged tile.
+  for (int d = 0; d < tuning.u; ++d) {
+    std::vector<Operand> ra(static_cast<std::size_t>(tuning.ms));
+    std::vector<Operand> rb(static_cast<std::size_t>(tuning.ns));
+    for (int i = 0; i < tuning.ms; ++i) {
+      ra[static_cast<std::size_t>(i)] =
+          b.ld_shared(ft, a_inner, (static_cast<std::int64_t>(d) * tuning.ml + i) * ds);
+    }
+    for (int j = 0; j < tuning.ns; ++j) {
+      rb[static_cast<std::size_t>(j)] =
+          b.ld_shared(ft, b_inner, (static_cast<std::int64_t>(d) * tuning.nl + j) * ds);
+    }
+    for (int j = 0; j < tuning.ns; ++j) {
+      for (int i = 0; i < tuning.ms; ++i) {
+        Operand& dst = acc[static_cast<std::size_t>(j) * tuning.ms + i];
+        b.fma(dst, ra[static_cast<std::size_t>(i)], rb[static_cast<std::size_t>(j)], dst);
+      }
+    }
+  }
+  b.bar_sync();
+
+  // ---- loop back-edge -------------------------------------------------------
+  b.mov(kk, b.add(kk, imm32(depth)));
+  {
+    const Operand more = b.setp(Cmp::Lt, kk, k1);
+    b.bra("LOOP_K", more.reg);
+  }
+
+  b.label("EPILOGUE");
+
+  // ---- K_L shared-memory reduction ------------------------------------------
+  // Threads with the same (tx, ty) but different tz hold partial sums of the
+  // same C micro-tile; fold them into tz == 0 one group at a time.
+  Operand store_pred = Operand::none();
+  if (tuning.kl > 1) {
+    // Tile-local slot of this thread's micro-tile inside the reduction buffer:
+    // ((ty*rm + tx) * MS*NS) * ds.
+    const Operand slot =
+        b.add(b.mul(b.mad(ty, imm32(rm), tx), imm32(tuning.ms * tuning.ns * ds)),
+              imm32(smem_red));
+    const Operand is_zero = b.setp(Cmp::Eq, tz, imm32(0));
+    for (int g = 1; g < tuning.kl; ++g) {
+      const Operand is_g = b.setp(Cmp::Eq, tz, imm32(g));
+      for (int x = 0; x < tuning.ms * tuning.ns; ++x) {
+        b.st_shared(ft, slot, acc[static_cast<std::size_t>(x)],
+                    static_cast<std::int64_t>(x) * ds);
+        b.predicate_last(is_g);
+      }
+      b.bar_sync();
+      for (int x = 0; x < tuning.ms * tuning.ns; ++x) {
+        const Operand part = b.new_reg(ft);
+        b.mov(part, Operand::make_fimm(0.0, ft));
+        b.ld_shared_into(part, slot, static_cast<std::int64_t>(x) * ds, is_zero.reg);
+        Operand& dst = acc[static_cast<std::size_t>(x)];
+        const Operand one = b.mov_fimm(ft, 1.0);
+        b.fma(dst, part, one, dst);
+      }
+      b.bar_sync();
+    }
+    store_pred = is_zero;
+  }
+
+  // ---- store / atomic accumulate --------------------------------------------
+  for (int j = 0; j < tuning.ns; ++j) {
+    for (int i = 0; i < tuning.ms; ++i) {
+      // m = m_block + tx*MS + i ; n = n_block + ty*NS + j
+      const Operand m = b.add(m_block, b.mad(tx, imm32(tuning.ms), imm32(i)));
+      const Operand n = b.add(n_block, b.mad(ty, imm32(tuning.ns), imm32(j)));
+      const Operand p = b.new_pred();
+      b.mov(p, Operand::make_imm(0, Type::Pred));
+      const Operand pm = b.setp(Cmp::Lt, m, M);
+      {
+        const Operand pn = b.setp(Cmp::Lt, n, N);
+        b.mov(p, pn);
+        b.predicate_last(pm);
+      }
+      Operand final_pred = p;
+      if (tuning.kl > 1) {
+        const Operand pz = b.new_pred();
+        b.mov(pz, Operand::make_imm(0, Type::Pred));
+        b.mov(pz, store_pred);
+        b.predicate_last(p);
+        final_pred = pz;
+      }
+      const Operand elem = b.mad(n, ldc, m);
+      const Operand byte = b.mul(b.cvt_u64(elem), Operand::make_imm(ds, Type::U64));
+      const Operand addr = b.add(baseC, byte);
+      const Operand& value = acc[static_cast<std::size_t>(j) * tuning.ms + i];
+      if (tuning.kg > 1) {
+        b.atom_add(ft, addr, value, 0, final_pred.reg);
+      } else {
+        b.st_global(ft, addr, value, 0, final_pred.reg);
+      }
+    }
+  }
+
+  return b.take();
+}
+
+ptx::LaunchDims gemm_launch_dims(const GemmShape& shape, const GemmTuning& tuning) {
+  ptx::LaunchDims dims;
+  dims.grid_x = static_cast<int>(ceil_div(shape.m, tuning.ml));
+  dims.grid_y = static_cast<int>(ceil_div(shape.n, tuning.nl));
+  dims.grid_z = tuning.kg;
+  dims.block_x = tuning.threads_per_block();
+  return dims;
+}
+
+std::vector<std::uint64_t> gemm_params(const GemmShape& shape, const GemmTuning& tuning,
+                                       std::uint64_t a_addr, std::uint64_t b_addr,
+                                       std::uint64_t c_addr) {
+  const std::int64_t lda = shape.trans_a ? shape.k : shape.m;
+  const std::int64_t ldb = shape.trans_b ? shape.n : shape.k;
+  const std::int64_t keff = ceil_div(shape.k, tuning.kg);
+  return {a_addr,
+          b_addr,
+          c_addr,
+          static_cast<std::uint64_t>(shape.m),
+          static_cast<std::uint64_t>(shape.n),
+          static_cast<std::uint64_t>(shape.k),
+          static_cast<std::uint64_t>(lda),
+          static_cast<std::uint64_t>(ldb),
+          static_cast<std::uint64_t>(shape.m),
+          static_cast<std::uint64_t>(keff)};
+}
+
+}  // namespace isaac::codegen

@@ -1,0 +1,36 @@
+// PTX kernel generation for the GEMM parameterization.
+//
+// Emits a complete, runnable PTX-like kernel implementing Figure 3 of the
+// paper: cooperative double-role staging of k-major A/B tiles into shared
+// memory (with the in-flight transposes the layout requires), a fully
+// unrolled U-deep inner product per reduction group, predicated edge
+// handling, a K_L shared-memory reduction epilogue, and K_G accumulation via
+// global atomics. The kernel is semantically validated by the interpreter
+// against the functional executor in the test suite.
+//
+// Supported data types: F32 and F64 (the interpreter models f16 storage at
+// f32 precision, so F16 kernels are profile-only; see DESIGN.md).
+//
+// Parameter order (all u64): A, B, C, M, N, K, LDA, LDB, LDC, KEFF
+// where KEFF = ceil(K / KG) is the per-slice reduction depth.
+#pragma once
+
+#include "codegen/gemm.hpp"
+#include "ptx/interpreter.hpp"
+#include "ptx/ir.hpp"
+
+namespace isaac::codegen {
+
+/// Build the kernel. Throws std::invalid_argument for F16 shapes or
+/// inconsistent tile divisibility.
+ptx::Kernel generate_gemm_ptx(const GemmShape& shape, const GemmTuning& tuning);
+
+/// Launch geometry for the generated kernel on a given shape.
+ptx::LaunchDims gemm_launch_dims(const GemmShape& shape, const GemmTuning& tuning);
+
+/// Parameter vector for ptx::run (addresses first, then widened scalars).
+std::vector<std::uint64_t> gemm_params(const GemmShape& shape, const GemmTuning& tuning,
+                                       std::uint64_t a_addr, std::uint64_t b_addr,
+                                       std::uint64_t c_addr);
+
+}  // namespace isaac::codegen

@@ -1,0 +1,135 @@
+#include "common/cli.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace isaac {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help, bool default_value) {
+  options_[name] = Option{Kind::Flag, help, default_value ? "true" : "false"};
+  order_.push_back(name);
+}
+
+void CliParser::add_int(const std::string& name, const std::string& help,
+                        std::int64_t default_value) {
+  options_[name] = Option{Kind::Int, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void CliParser::add_double(const std::string& name, const std::string& help,
+                           double default_value) {
+  options_[name] = Option{Kind::Double, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void CliParser::add_string(const std::string& name, const std::string& help,
+                           std::string default_value) {
+  options_[name] = Option{Kind::String, help, std::move(default_value)};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return false;
+    }
+    if (!strings::starts_with(arg, "--")) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown flag: --" + arg);
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::Flag) {
+      if (has_value) {
+        const std::string lower = strings::to_lower(value);
+        if (lower != "true" && lower != "false" && lower != "0" && lower != "1") {
+          throw std::invalid_argument("bad boolean for --" + arg + ": " + value);
+        }
+        opt.value = (lower == "true" || lower == "1") ? "true" : "false";
+      } else {
+        opt.value = "true";
+      }
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for --" + arg);
+      value = argv[++i];
+    }
+    opt.value = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) throw std::logic_error("flag was never declared: --" + name);
+  if (it->second.kind != kind) throw std::logic_error("flag type mismatch: --" + name);
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).value == "true";
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const Option& opt = find(name, Kind::Int);
+  try {
+    return std::stoll(opt.value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for --" + name + ": " + opt.value);
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const Option& opt = find(name, Kind::Double);
+  try {
+    return std::stod(opt.value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad double for --" + name + ": " + opt.value);
+  }
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+void CliParser::print_usage(std::ostream& os) const {
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::Flag:
+        break;
+      case Kind::Int:
+        os << " <int>";
+        break;
+      case Kind::Double:
+        os << " <float>";
+        break;
+      case Kind::String:
+        os << " <str>";
+        break;
+    }
+    os << "  (default: " << opt.value << ")\n      " << opt.help << "\n";
+  }
+}
+
+}  // namespace isaac

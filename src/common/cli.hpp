@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Supported syntax: --name value, --name=value, bare --flag (boolean true).
+// Unknown flags are an error so typos in bench scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isaac {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Declare flags before parse(). Defaults render in --help.
+  void add_flag(const std::string& name, const std::string& help, bool default_value);
+  void add_int(const std::string& name, const std::string& help, std::int64_t default_value);
+  void add_double(const std::string& name, const std::string& help, double default_value);
+  void add_string(const std::string& name, const std::string& help, std::string default_value);
+
+  /// Returns false if --help was requested (usage already printed) and throws
+  /// std::invalid_argument on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  enum class Kind { Flag, Int, Double, String };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; parsed on get
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace isaac

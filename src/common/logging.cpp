@@ -1,0 +1,76 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace isaac::log {
+
+namespace {
+
+std::atomic<Level> g_threshold{Level::Warn};
+std::mutex g_write_mutex;
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::Debug:
+      return "DEBUG";
+    case Level::Info:
+      return "INFO ";
+    case Level::Warn:
+      return "WARN ";
+    case Level::Error:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+// Honor ISAAC_LOG on first use so benches/tests can be made chatty without
+// code changes.
+struct EnvInit {
+  EnvInit() {
+    if (const char* env = std::getenv("ISAAC_LOG")) {
+      set_threshold_from_string(env);
+    }
+  }
+};
+
+}  // namespace
+
+Level threshold() noexcept {
+  static EnvInit init;
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+void set_threshold(Level lvl) noexcept {
+  g_threshold.store(lvl, std::memory_order_relaxed);
+}
+
+bool set_threshold_from_string(const std::string& name) noexcept {
+  const std::string s = strings::to_lower(name);
+  if (s == "debug") {
+    set_threshold(Level::Debug);
+  } else if (s == "info") {
+    set_threshold(Level::Info);
+  } else if (s == "warn" || s == "warning") {
+    set_threshold(Level::Warn);
+  } else if (s == "error") {
+    set_threshold(Level::Error);
+  } else if (s == "off" || s == "none") {
+    set_threshold(Level::Off);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void write(Level lvl, const std::string& msg) {
+  if (!enabled(lvl)) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[isaac %s] %s\n", tag(lvl), msg.c_str());
+}
+
+}  // namespace isaac::log

@@ -1,0 +1,63 @@
+// Minimal thread-safe logging for the ISAAC reproduction.
+//
+// The library is quiet by default (Level::Warn); benches and examples raise
+// verbosity with --verbose or ISAAC_LOG=debug. Logging never allocates on the
+// hot path beyond the message itself and is safe to call from pool workers.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace isaac::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+Level threshold() noexcept;
+void set_threshold(Level lvl) noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings leave the threshold unchanged and return false.
+bool set_threshold_from_string(const std::string& name) noexcept;
+
+/// Emit one line to stderr with a level tag. Thread-safe.
+void write(Level lvl, const std::string& msg);
+
+namespace detail {
+
+class LineStream {
+ public:
+  explicit LineStream(Level lvl) : lvl_(lvl) {}
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+  ~LineStream() { write(lvl_, os_.str()); }
+
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline bool enabled(Level lvl) noexcept { return lvl >= threshold(); }
+
+}  // namespace isaac::log
+
+// Stream-style macros: ISAAC_LOG_INFO() << "collected " << n << " samples";
+// The stream is only constructed when the level is enabled.
+#define ISAAC_LOG_AT(lvl)                   \
+  if (!::isaac::log::enabled(lvl)) {        \
+  } else                                    \
+    ::isaac::log::detail::LineStream(lvl)
+
+#define ISAAC_LOG_DEBUG() ISAAC_LOG_AT(::isaac::log::Level::Debug)
+#define ISAAC_LOG_INFO() ISAAC_LOG_AT(::isaac::log::Level::Info)
+#define ISAAC_LOG_WARN() ISAAC_LOG_AT(::isaac::log::Level::Warn)
+#define ISAAC_LOG_ERROR() ISAAC_LOG_AT(::isaac::log::Level::Error)

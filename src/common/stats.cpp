@@ -1,0 +1,99 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace isaac::stats {
+
+namespace {
+void require_nonempty(const std::vector<double>& xs, const char* who) {
+  if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  require_nonempty(xs, "stats::mean");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  require_nonempty(xs, "stats::variance");
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double standard_error(const std::vector<double>& xs) {
+  require_nonempty(xs, "stats::standard_error");
+  return stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 0.5); }
+
+double percentile(std::vector<double> xs, double q) {
+  require_nonempty(xs, "stats::percentile");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("stats::percentile: q outside [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double min(const std::vector<double>& xs) {
+  require_nonempty(xs, "stats::min");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(const std::vector<double>& xs) {
+  require_nonempty(xs, "stats::max");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double geomean(const std::vector<double>& xs) {
+  require_nonempty(xs, "stats::geomean");
+  double s = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("stats::geomean: non-positive input");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double mse(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("stats::mse: size mismatch or empty");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.size());
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    throw std::invalid_argument("stats::pearson: size mismatch or too small");
+  }
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace isaac::stats

@@ -1,0 +1,30 @@
+// Descriptive statistics used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace isaac::stats {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // sample variance (n-1)
+double stddev(const std::vector<double>& xs);
+double standard_error(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+/// q in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double q);
+
+double min(const std::vector<double>& xs);
+double max(const std::vector<double>& xs);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(const std::vector<double>& xs);
+
+/// Mean squared error between two equally sized vectors.
+double mse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Pearson correlation coefficient.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace isaac::stats

@@ -1,0 +1,30 @@
+// Small string helpers shared across modules (no locale, ASCII only).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isaac::strings {
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+/// Split on a single delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1234567" -> "1,234,567" (for human-readable bench output).
+std::string with_commas(long long value);
+
+}  // namespace isaac::strings

@@ -1,0 +1,37 @@
+// Console table / CSV writer used by every bench harness.
+//
+// Benches print the paper's rows alongside measured values; Table renders an
+// aligned ASCII table to stdout and can also dump CSV for post-processing.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace isaac {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return headers_.size(); }
+
+  /// Aligned ASCII rendering with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  void write_csv(std::ostream& os) const;
+
+  static std::string fmt_double(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace isaac

@@ -1,0 +1,145 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace isaac {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared between the caller and any helper tasks still queued in the pool.
+/// Helpers hold a shared_ptr, so a task that wakes up after the caller has
+/// already collected the results finds the state alive (it simply sees all
+/// chunks claimed and exits).
+struct ParallelForState {
+  std::size_t n = 0;
+  std::size_t chunk = 0;
+  std::size_t chunks = 0;
+  std::function<void(std::size_t, std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  void run_chunks() {
+    while (true) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  // Oversubscribe chunks 4x so uneven work (e.g. predicated edge blocks in the
+  // functional executors) balances across workers.
+  const std::size_t want_chunks = std::max<std::size_t>(1, size() * 4);
+  const std::size_t chunk = std::max<std::size_t>(1, (n + want_chunks - 1) / want_chunks);
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+
+  if (chunks == 1) {
+    fn(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->chunk = chunk;
+  state->chunks = chunks;
+  state->fn = fn;
+
+  // Hand one task per worker; the calling thread also drains chunks so the
+  // pool cannot deadlock when parallel_for is called from inside a task.
+  const std::size_t helpers = std::min(chunks - 1, size());
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([state] { state->run_chunks(); });
+  }
+  state->run_chunks();
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(
+        lock, [&] { return state->done.load(std::memory_order_acquire) == state->chunks; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ThreadPool::parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ISAAC_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace isaac

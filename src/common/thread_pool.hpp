@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// The pool is the only threading primitive in the repo: the functional kernel
+// executors iterate GPU thread-blocks over it, the MLP trainer shards
+// minibatch GEMMs over it, and the runtime inference scores candidate kernels
+// over it. Tasks must not throw across the pool boundary; exceptions are
+// captured and rethrown on the calling thread by parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace isaac {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue fire-and-forget work. Prefer parallel_for for data parallelism.
+  void submit(std::function<void()> task);
+
+  /// Run fn(begin, end) over [0, n) split into roughly pool-size chunks and
+  /// block until all chunks finish. The calling thread participates, so
+  /// parallel_for(n, ...) with a 1-thread pool degrades to a serial loop.
+  /// The first exception thrown by any chunk is rethrown here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Convenience: per-index body.
+  void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized from ISAAC_THREADS (default: hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace isaac

@@ -1,0 +1,61 @@
+// Runtime kernel inference (paper §6).
+//
+// With the input parameters fixed by the user, the trained regression model
+// is optimized over tuning parameters only. The search is exhaustive over the
+// legal space (paper: "guaranteed to find the global optimum within the
+// specified search range", "highly parallelizable"), batched through the MLP,
+// and the top-k predicted configurations are re-timed on the device to
+// "smooth out the inherent noise of our predictive model".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "codegen/conv.hpp"
+#include "codegen/gemm.hpp"
+#include "gpusim/simulator.hpp"
+#include "mlp/regressor.hpp"
+
+namespace isaac::core {
+
+struct InferenceConfig {
+  /// Re-time this many of the model's best predictions on the device.
+  std::size_t top_k = 100;
+  /// Timing repetitions per re-timed candidate (median taken).
+  int reeval_reps = 5;
+  /// Cap on legal candidates scored by the model (0 = unlimited). Applied by
+  /// deterministic striding, for spaces too large to enumerate densely.
+  std::size_t max_candidates = 0;
+  /// MLP scoring batch.
+  std::size_t batch = 8192;
+};
+
+template <typename Tuning>
+struct Candidate {
+  Tuning tuning{};
+  double predicted_gflops = 0.0;
+  double measured_gflops = 0.0;  // 0 until re-timed
+};
+
+template <typename Tuning>
+struct TuneResult {
+  Candidate<Tuning> best{};
+  std::vector<Candidate<Tuning>> top;  // re-timed candidates, best first
+  std::size_t enumerated = 0;          // size of X̂ visited
+  std::size_t legal = 0;               // candidates scored by the model
+};
+
+using GemmTuneResult = TuneResult<codegen::GemmTuning>;
+using ConvTuneResult = TuneResult<codegen::ConvTuning>;
+
+/// Exhaustively optimize the model over GEMM tuning parameters for `shape`,
+/// then re-time the top-k on `sim`. Throws std::runtime_error when no legal
+/// configuration exists.
+GemmTuneResult tune_gemm(const codegen::GemmShape& shape, const mlp::Regressor& model,
+                         const gpusim::Simulator& sim, const InferenceConfig& config = {});
+
+ConvTuneResult tune_conv(const codegen::ConvShape& shape, const mlp::Regressor& model,
+                         const gpusim::Simulator& sim, const InferenceConfig& config = {});
+
+}  // namespace isaac::core

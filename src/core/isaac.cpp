@@ -1,0 +1,118 @@
+#include "core/isaac.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace isaac::core {
+
+Context::Context(const gpusim::DeviceDescriptor& device, ContextOptions options)
+    : sim_(device, options.noise_sigma, options.seed),
+      options_(std::move(options)),
+      cache_(options_.cache_dir) {}
+
+void Context::train_model(std::size_t samples, int epochs) {
+  tuning::CollectorConfig cfg;
+  cfg.num_samples = samples;
+  cfg.seed = options_.seed ^ 0xDA7A;
+  const auto report = tuning::collect_gemm(sim_, cfg);
+  if (report.dataset.size() < 100) {
+    throw std::runtime_error("train_model: data collection produced too few samples");
+  }
+
+  mlp::TrainConfig train_cfg;
+  train_cfg.net.hidden = {64, 128, 64};
+  train_cfg.epochs = epochs;
+  train_cfg.seed = options_.seed;
+  set_model(mlp::train(report.dataset, train_cfg));
+  ISAAC_LOG_INFO() << "trained model on " << report.dataset.size() << " samples";
+}
+
+void Context::set_model(mlp::Regressor model) { model_.emplace(std::move(model)); }
+
+const mlp::Regressor& Context::model() const {
+  if (!model_) throw std::logic_error("Context: no model trained or installed");
+  return *model_;
+}
+
+GemmTuneResult Context::tune_gemm(const codegen::GemmShape& shape) {
+  return core::tune_gemm(shape, model(), sim_, options_.inference);
+}
+
+ConvTuneResult Context::tune_conv(const codegen::ConvShape& shape) {
+  return core::tune_conv(shape, model(), sim_, options_.inference);
+}
+
+codegen::GemmTuning Context::select_gemm(const codegen::GemmShape& shape, bool* from_cache) {
+  if (const auto cached = cache_.lookup_gemm(device().name, shape)) {
+    if (from_cache) *from_cache = true;
+    return *cached;
+  }
+  const auto result = tune_gemm(shape);
+  cache_.store_gemm(device().name, shape, result.best.tuning);
+  if (from_cache) *from_cache = false;
+  return result.best.tuning;
+}
+
+codegen::ConvTuning Context::select_conv(const codegen::ConvShape& shape, bool* from_cache) {
+  if (const auto cached = cache_.lookup_conv(device().name, shape)) {
+    if (from_cache) *from_cache = true;
+    return *cached;
+  }
+  const auto result = tune_conv(shape);
+  cache_.store_conv(device().name, shape, result.best.tuning);
+  if (from_cache) *from_cache = false;
+  return result.best.tuning;
+}
+
+namespace {
+
+template <typename T>
+GemmCallInfo run_gemm(Context& ctx, const gpusim::Simulator& sim,
+                      const codegen::GemmShape& shape, const codegen::GemmTuning& tuning,
+                      bool from_cache, T alpha, const T* a, std::int64_t lda, const T* b,
+                      std::int64_t ldb, T beta, T* c, std::int64_t ldc) {
+  (void)ctx;
+  GemmCallInfo info;
+  info.tuning = tuning;
+  info.from_cache = from_cache;
+  codegen::execute_gemm(shape, tuning, alpha, a, lda, b, ldb, beta, c, ldc);
+  const auto timing = sim.launch_median(codegen::analyze(shape, tuning, sim.device()), 3);
+  info.simulated_seconds = timing.seconds;
+  info.gflops = timing.tflops * 1000.0;
+  return info;
+}
+
+}  // namespace
+
+GemmCallInfo Context::gemm(const codegen::GemmShape& shape, float alpha, const float* a,
+                           std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+                           float* c, std::int64_t ldc) {
+  bool from_cache = false;
+  const auto tuning = select_gemm(shape, &from_cache);
+  return run_gemm(*this, sim_, shape, tuning, from_cache, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+GemmCallInfo Context::gemm(const codegen::GemmShape& shape, double alpha, const double* a,
+                           std::int64_t lda, const double* b, std::int64_t ldb, double beta,
+                           double* c, std::int64_t ldc) {
+  bool from_cache = false;
+  const auto tuning = select_gemm(shape, &from_cache);
+  return run_gemm(*this, sim_, shape, tuning, from_cache, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+ConvCallInfo Context::conv(const codegen::ConvShape& shape, float alpha, const float* input,
+                           const float* filters, float beta, float* output) {
+  bool from_cache = false;
+  const auto tuning = select_conv(shape, &from_cache);
+  ConvCallInfo info;
+  info.tuning = tuning;
+  info.from_cache = from_cache;
+  codegen::execute_conv(shape, tuning, alpha, input, filters, beta, output);
+  const auto timing = sim_.launch_median(codegen::analyze(shape, tuning, sim_.device()), 3);
+  info.simulated_seconds = timing.seconds;
+  info.gflops = timing.tflops * 1000.0;
+  return info;
+}
+
+}  // namespace isaac::core

@@ -1,0 +1,96 @@
+// ISAAC public API — the input-aware auto-tuning framework of the paper,
+// end to end (Figure 1): kernel generation → data generation → regression →
+// runtime inference, wrapped in a Context bound to one (simulated) device.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   isaac::core::Context ctx(isaac::gpusim::tesla_p100());
+//   ctx.train_model();                       // hours on a real GPU, seconds here
+//   isaac::codegen::GemmShape shape{...};
+//   auto info = ctx.gemm(shape, 1.0f, A, lda, B, ldb, 0.0f, C, ldc);
+//   // C now holds the product; info reports the selected kernel + timing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "codegen/conv.hpp"
+#include "codegen/conv_executor.hpp"
+#include "codegen/gemm.hpp"
+#include "codegen/gemm_executor.hpp"
+#include "core/inference.hpp"
+#include "core/profile_cache.hpp"
+#include "gpusim/simulator.hpp"
+#include "mlp/regressor.hpp"
+#include "tuning/collector.hpp"
+
+namespace isaac::core {
+
+struct ContextOptions {
+  double noise_sigma = 0.03;       // simulated measurement noise
+  std::uint64_t seed = 0x15AAC;
+  std::string cache_dir;           // "" = in-memory profile cache only
+  InferenceConfig inference;
+};
+
+/// What a tuned call reports back.
+struct GemmCallInfo {
+  codegen::GemmTuning tuning;      // selected kernel
+  double simulated_seconds = 0.0;  // device-model execution time
+  double gflops = 0.0;             // useful FLOPs / simulated time
+  bool from_cache = false;
+};
+
+struct ConvCallInfo {
+  codegen::ConvTuning tuning;
+  double simulated_seconds = 0.0;
+  double gflops = 0.0;
+  bool from_cache = false;
+};
+
+class Context {
+ public:
+  explicit Context(const gpusim::DeviceDescriptor& device, ContextOptions options = {});
+
+  const gpusim::DeviceDescriptor& device() const noexcept { return sim_.device(); }
+  const gpusim::Simulator& simulator() const noexcept { return sim_; }
+
+  /// Run the paper's offline pipeline: collect benchmarking data on this
+  /// device and train the input-aware regression model. `samples` trades
+  /// model quality against tuning time (Fig. 5).
+  void train_model(std::size_t samples = 8000, int epochs = 12);
+
+  /// Install an externally trained / deserialized model.
+  void set_model(mlp::Regressor model);
+  bool has_model() const noexcept { return model_.has_value(); }
+  const mlp::Regressor& model() const;
+
+  /// Input-aware kernel selection (cached). Requires a model.
+  GemmTuneResult tune_gemm(const codegen::GemmShape& shape);
+  ConvTuneResult tune_conv(const codegen::ConvShape& shape);
+
+  /// Tune (or fetch from cache), execute the selected kernel functionally on
+  /// the host buffers, and report the simulated device timing.
+  GemmCallInfo gemm(const codegen::GemmShape& shape, float alpha, const float* a,
+                    std::int64_t lda, const float* b, std::int64_t ldb, float beta, float* c,
+                    std::int64_t ldc);
+  GemmCallInfo gemm(const codegen::GemmShape& shape, double alpha, const double* a,
+                    std::int64_t lda, const double* b, std::int64_t ldb, double beta, double* c,
+                    std::int64_t ldc);
+  ConvCallInfo conv(const codegen::ConvShape& shape, float alpha, const float* input,
+                    const float* filters, float beta, float* output);
+
+  ProfileCache& cache() noexcept { return cache_; }
+
+ private:
+  codegen::GemmTuning select_gemm(const codegen::GemmShape& shape, bool* from_cache);
+  codegen::ConvTuning select_conv(const codegen::ConvShape& shape, bool* from_cache);
+
+  gpusim::Simulator sim_;
+  ContextOptions options_;
+  std::optional<mlp::Regressor> model_;
+  ProfileCache cache_;
+};
+
+}  // namespace isaac::core

@@ -1,0 +1,48 @@
+// Filesystem cache for tuned kernel selections (paper §6: "the resulting
+// predictions may be used directly ... cached on the filesystem").
+//
+// Keyed by (device, shape); stores the winning tuning vector as one line of
+// text so a process restart skips the few-second exhaustive inference.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "codegen/conv.hpp"
+#include "codegen/gemm.hpp"
+
+namespace isaac::core {
+
+class ProfileCache {
+ public:
+  /// directory == "" keeps the cache purely in memory.
+  explicit ProfileCache(std::string directory = "");
+
+  std::optional<codegen::GemmTuning> lookup_gemm(const std::string& device,
+                                                 const codegen::GemmShape& shape) const;
+  void store_gemm(const std::string& device, const codegen::GemmShape& shape,
+                  const codegen::GemmTuning& tuning);
+
+  std::optional<codegen::ConvTuning> lookup_conv(const std::string& device,
+                                                 const codegen::ConvShape& shape) const;
+  void store_conv(const std::string& device, const codegen::ConvShape& shape,
+                  const codegen::ConvTuning& tuning);
+
+  std::size_t size() const noexcept { return gemm_.size() + conv_.size(); }
+
+  /// Key derivation, exposed for tests.
+  static std::string gemm_key(const std::string& device, const codegen::GemmShape& shape);
+  static std::string conv_key(const std::string& device, const codegen::ConvShape& shape);
+
+ private:
+  void load_from_disk();
+  void append_to_disk(const std::string& kind, const std::string& key,
+                      const std::string& value) const;
+
+  std::string directory_;
+  std::map<std::string, codegen::GemmTuning> gemm_;
+  std::map<std::string, codegen::ConvTuning> conv_;
+};
+
+}  // namespace isaac::core

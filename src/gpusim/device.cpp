@@ -1,0 +1,92 @@
+#include "gpusim/device.hpp"
+
+#include "common/strings.hpp"
+
+namespace isaac::gpusim {
+
+bool parse_dtype(const std::string& s, DataType& out) noexcept {
+  const std::string l = strings::to_lower(s);
+  if (l == "f16" || l == "half" || l == "fp16") {
+    out = DataType::F16;
+  } else if (l == "f32" || l == "float" || l == "fp32") {
+    out = DataType::F32;
+  } else if (l == "f64" || l == "double" || l == "fp64") {
+    out = DataType::F64;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const DeviceDescriptor& gtx980ti() {
+  static const DeviceDescriptor dev = [] {
+    DeviceDescriptor d;
+    d.name = "GTX 980 TI";
+    d.market_segment = "Consumer";
+    d.arch = Architecture::Maxwell;
+    d.chip = "GM200";
+    d.num_sms = 22;
+    d.cuda_cores_per_sm = 128;  // 22 * 128 = 2816 CUDA cores
+    d.boost_clock_ghz = 1.075;
+    d.peak_sp_tflops = 5.8;
+    d.dram_bandwidth_gbs = 336.0;
+    d.memory_gb = 6.0;
+    d.memory_type = "GDDR5";
+    d.l2_bytes = 3.0 * 1024 * 1024;
+    d.tdp_watts = 250;
+    d.smem_per_sm_bytes = 96 * 1024;
+    d.smem_per_block_bytes = 48 * 1024;
+    // Maxwell: 4-cycle dependent-issue FMA, GDDR5 latency ~ 380 cycles.
+    d.alu_latency_cycles = 6.0;
+    d.mem_latency_cycles = 380.0;
+    // GM200 has no fast fp16x2 path and a 1/32 fp64 rate.
+    d.fp16_scalar_ratio = 1.0;
+    d.fp16x2_ratio = 1.0;
+    d.fp64_ratio = 1.0 / 32.0;
+    return d;
+  }();
+  return dev;
+}
+
+const DeviceDescriptor& tesla_p100() {
+  static const DeviceDescriptor dev = [] {
+    DeviceDescriptor d;
+    d.name = "Tesla P100 (PCIE)";
+    d.market_segment = "Server";
+    d.arch = Architecture::Pascal;
+    d.chip = "GP100";
+    d.num_sms = 56;
+    d.cuda_cores_per_sm = 64;  // 56 * 64 = 3584 CUDA cores
+    d.boost_clock_ghz = 1.353;
+    d.peak_sp_tflops = 9.7;
+    d.dram_bandwidth_gbs = 732.0;
+    d.memory_gb = 16.0;
+    d.memory_type = "HBM2";
+    d.l2_bytes = 4.0 * 1024 * 1024;
+    d.tdp_watts = 250;
+    d.smem_per_sm_bytes = 64 * 1024;
+    d.smem_per_block_bytes = 48 * 1024;
+    // HBM2: wider bus, higher latency, vastly more bandwidth.
+    d.alu_latency_cycles = 6.0;
+    d.mem_latency_cycles = 440.0;
+    // GP100: full-rate fp16x2 (2x) and half-rate fp64.
+    d.fp16_scalar_ratio = 1.0;
+    d.fp16x2_ratio = 2.0;
+    d.fp64_ratio = 0.5;
+    return d;
+  }();
+  return dev;
+}
+
+const DeviceDescriptor* find_device(const std::string& name) {
+  const std::string l = strings::to_lower(name);
+  if (l == "gtx980ti" || l == "gtx 980 ti" || l == "980ti" || l == "maxwell") {
+    return &gtx980ti();
+  }
+  if (l == "p100" || l == "tesla p100" || l == "teslap100" || l == "pascal") {
+    return &tesla_p100();
+  }
+  return nullptr;
+}
+
+}  // namespace isaac::gpusim

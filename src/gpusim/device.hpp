@@ -1,0 +1,105 @@
+// Device descriptors for the two test platforms of the paper (Table 3).
+//
+// The descriptor carries both the headline numbers the paper prints (CUDA
+// cores, boost clock, peak TFLOPS, bandwidth) and the micro-architectural
+// quantities the performance model needs (per-SM resource limits, pipeline
+// latencies, throughput ratios per data type).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/types.hpp"
+
+namespace isaac::gpusim {
+
+enum class Architecture { Maxwell, Pascal };
+
+struct DeviceDescriptor {
+  // ---- identity (Table 3 rows) ----
+  std::string name;
+  std::string market_segment;
+  Architecture arch = Architecture::Maxwell;
+  std::string chip;  // e.g. "GM200"
+
+  // ---- compute ----
+  int num_sms = 0;
+  int cuda_cores_per_sm = 0;
+  double boost_clock_ghz = 0.0;
+  /// Advertised single-precision peak, TFLOPS (paper's "Processing Power").
+  double peak_sp_tflops = 0.0;
+
+  // ---- memory ----
+  double dram_bandwidth_gbs = 0.0;  // GB/s
+  double memory_gb = 0.0;
+  std::string memory_type;  // "GDDR5" / "HBM2"
+  double l2_bytes = 0.0;
+  int tdp_watts = 0;
+
+  // ---- per-SM occupancy limits (CUDA occupancy rules) ----
+  int max_warps_per_sm = 64;
+  int max_blocks_per_sm = 32;
+  int max_threads_per_block = 1024;
+  int warp_size = 32;
+  int registers_per_sm = 65536;
+  int max_registers_per_thread = 255;
+  int smem_per_sm_bytes = 0;
+  int smem_per_block_bytes = 49152;
+  /// Register allocation granularity per warp (regs rounded up to this).
+  int reg_alloc_granularity = 256;
+  /// Shared memory allocation granularity per block.
+  int smem_alloc_granularity = 256;
+
+  // ---- pipeline model parameters ----
+  /// FMA issue latency in cycles (dependent-instruction latency).
+  double alu_latency_cycles = 6.0;
+  /// Average DRAM round-trip latency in cycles.
+  double mem_latency_cycles = 400.0;
+  /// Shared-memory load latency in cycles.
+  double smem_latency_cycles = 24.0;
+  /// Warp-wide global LD/ST instructions the SM can issue per cycle.
+  double lsu_warp_inst_per_cycle = 0.25;
+  /// Warp-wide shared-memory instructions per cycle (conflict-free).
+  double smem_warp_inst_per_cycle = 1.0;
+  /// Global atomic throughput penalty relative to plain stores (>1 = slower).
+  double atomic_penalty = 4.0;
+  /// Kernel launch + driver overhead, microseconds.
+  double launch_overhead_us = 4.0;
+
+  // ---- per-dtype throughput ratios relative to fp32 FMA rate ----
+  /// Rate for unpaired fp16 math (scalar half ops).
+  double fp16_scalar_ratio = 1.0;
+  /// Rate for paired fp16x2 math: each instruction retires 2 FMAs.
+  double fp16x2_ratio = 2.0;
+  double fp64_ratio = 1.0 / 32.0;
+
+  /// fp32 FMA warp-instructions per cycle per SM.
+  double fma_warp_inst_per_cycle() const noexcept {
+    return static_cast<double>(cuda_cores_per_sm) / warp_size;
+  }
+
+  /// Advertised peak for a data type assuming ideal instruction selection
+  /// (fp16 uses fp16x2 pairing).
+  double peak_tflops(DataType dt) const noexcept {
+    switch (dt) {
+      case DataType::F16:
+        return peak_sp_tflops * fp16x2_ratio;
+      case DataType::F64:
+        return peak_sp_tflops * fp64_ratio;
+      case DataType::F32:
+      default:
+        return peak_sp_tflops;
+    }
+  }
+};
+
+/// GeForce GTX 980 Ti (Maxwell GM200) — consumer card of Table 3.
+const DeviceDescriptor& gtx980ti();
+
+/// Tesla P100 PCIe (Pascal GP100) — server card of Table 3.
+const DeviceDescriptor& tesla_p100();
+
+/// Look up by name ("gtx980ti", "p100", case-insensitive, some aliases).
+const DeviceDescriptor* find_device(const std::string& name);
+
+}  // namespace isaac::gpusim

@@ -1,0 +1,108 @@
+// KernelProfile: the contract between the kernel generators and the
+// performance model.
+//
+// The generators (src/codegen) lower a parameterized GEMM/CONV configuration
+// to (a) a PTX-like module and (b) this static profile: per-thread instruction
+// mix, per-block resource usage, and per-launch memory traffic. The profile is
+// exactly the information ptxas + a profiler would report on real hardware,
+// which is what the paper's regression model implicitly learns from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/types.hpp"
+
+namespace isaac::gpusim {
+
+/// How out-of-range tiles are handled (§8.3 of the paper).
+enum class BoundsMode {
+  /// PTX predicated loads/stores: ~2% overhead. ISAAC's choice.
+  Predicated,
+  /// CUDA-C style branch around the edge: 15-20% overhead on the whole kernel.
+  Branchy,
+  /// Pad inputs to tile multiples: full-tile work on padded data.
+  Padded,
+};
+
+struct KernelProfile {
+  std::string label;  // human-readable kernel name for logs/benches
+
+  // ---- launch shape ----
+  std::int64_t grid_blocks = 0;  // total thread blocks in the grid
+  int threads_per_block = 0;
+
+  // ---- per-block resources ----
+  int regs_per_thread = 0;
+  int smem_bytes_per_block = 0;
+
+  // ---- per-thread instruction mix (average over the whole kernel) ----
+  double fma_insts = 0.0;        // multiply-accumulate instructions
+  double int_insts = 0.0;        // integer/address arithmetic
+  double ld_global_insts = 0.0;  // global load instructions
+  double st_global_insts = 0.0;  // plain global stores
+  double atom_global_insts = 0.0;  // global atomic adds (split reductions)
+  double ld_shared_insts = 0.0;
+  double st_shared_insts = 0.0;
+  double bar_syncs = 0.0;
+
+  /// Average ways of shared-memory bank conflict (1 = conflict-free).
+  double smem_conflict_ways = 1.0;
+
+  // ---- latency-hiding hints (Volkov-style concurrency) ----
+  /// Independent FMA streams per thread (≈ MS*NS accumulators). Together with
+  /// resident warps this sets the concurrency that hides ALU latency.
+  double ilp_arith = 1.0;
+  /// Outstanding global loads a thread issues back-to-back per prefetch round
+  /// (memory-level parallelism).
+  double mlp_mem = 1.0;
+  /// Independent shared-memory loads per inner step (≈ MS+NS operand fetches).
+  double ilp_smem = 1.0;
+
+  // ---- per-launch memory traffic ----
+  /// Compulsory DRAM read bytes (unique data the kernel must fetch).
+  double dram_read_bytes = 0.0;
+  /// Total read bytes requested by all blocks (>= compulsory; the surplus is
+  /// re-reads of tiles shared across blocks, candidate L2 hits).
+  double requested_read_bytes = 0.0;
+  /// DRAM write bytes (atomics count read+write downstream).
+  double dram_write_bytes = 0.0;
+  /// Fraction of requested bytes actually usable after coalescing (1 = fully
+  /// coalesced; < 1 inflates traffic).
+  double coalescing_efficiency = 1.0;
+  /// Unique bytes one scheduling wave of blocks must read (tiles shared by
+  /// co-resident blocks counted once) — input to the L2 reuse model.
+  double wave_unique_bytes_hint = 0.0;
+  /// Instantaneous working set: the U-wide input slices all co-resident
+  /// blocks are streaming at one moment. Re-reads hit in L2 iff this fits.
+  double slice_working_set_bytes = 0.0;
+
+  // ---- semantics ----
+  DataType dtype = DataType::F32;
+  /// True when fp16 math is emitted as paired fp16x2 instructions (each FMA
+  /// instruction retires two MACs).
+  bool uses_fp16x2 = false;
+  BoundsMode bounds = BoundsMode::Predicated;
+  /// Multiplier on SM cycles for boundary handling; 1.0 when tiles divide the
+  /// problem exactly. Set by the generator from BoundsMode (§8.3: predication
+  /// ≈ 1.02, branchy ≈ 1.15-1.20; padding instead inflates the work itself).
+  double bounds_overhead_factor = 1.0;
+  /// Auxiliary kernel launches this kernel requires (e.g. the C zero-init
+  /// pass before a K_G-split accumulation with global atomics).
+  int extra_launches = 0;
+  /// Bytes streamed by auxiliary passes that cannot overlap the main kernel
+  /// (pad/unpad copies in Padded bounds mode). Costed additively at DRAM
+  /// bandwidth.
+  double extra_stream_bytes = 0.0;
+
+  /// FLOPs that contribute to the user-visible result (2*M*N*K for GEMM).
+  /// Benches derive TFLOPS as useful_flops / simulated time, so kernels that
+  /// burn threads on out-of-range tiles pay for it.
+  double useful_flops = 0.0;
+
+  std::int64_t total_threads() const noexcept {
+    return grid_blocks * static_cast<std::int64_t>(threads_per_block);
+  }
+};
+
+}  // namespace isaac::gpusim

@@ -1,0 +1,71 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace isaac::gpusim {
+
+namespace {
+int round_up(int value, int granularity) {
+  return ((value + granularity - 1) / granularity) * granularity;
+}
+}  // namespace
+
+OccupancyResult occupancy(const DeviceDescriptor& dev, int threads_per_block,
+                          int regs_per_thread, int smem_bytes_per_block) {
+  OccupancyResult out;
+
+  // Hard per-block legality first.
+  if (threads_per_block <= 0 || threads_per_block > dev.max_threads_per_block) {
+    out.limiter = "threads";
+    return out;
+  }
+  if (regs_per_thread <= 0 || regs_per_thread > dev.max_registers_per_thread) {
+    out.limiter = "registers";
+    return out;
+  }
+  if (smem_bytes_per_block < 0 || smem_bytes_per_block > dev.smem_per_block_bytes) {
+    out.limiter = "smem";
+    return out;
+  }
+
+  const int warps_per_block = (threads_per_block + dev.warp_size - 1) / dev.warp_size;
+
+  // Limit 1: warp slots.
+  const int by_warps = dev.max_warps_per_sm / warps_per_block;
+  // Limit 2: registers (allocated per warp at a fixed granularity).
+  const int regs_per_warp = round_up(regs_per_thread * dev.warp_size, dev.reg_alloc_granularity);
+  const int by_regs = dev.registers_per_sm / (regs_per_warp * warps_per_block);
+  // Limit 3: shared memory.
+  const int smem_alloc = smem_bytes_per_block > 0
+                             ? round_up(smem_bytes_per_block, dev.smem_alloc_granularity)
+                             : 0;
+  const int by_smem = smem_alloc > 0 ? dev.smem_per_sm_bytes / smem_alloc : dev.max_blocks_per_sm;
+  // Limit 4: resident-block slots.
+  const int by_blocks = dev.max_blocks_per_sm;
+
+  int blocks = std::min(std::min(by_warps, by_regs), std::min(by_smem, by_blocks));
+  if (blocks <= 0) {
+    // Resources fit per-block limits but not even one block fits an SM
+    // (possible when the register file is the binding constraint).
+    out.limiter = by_regs <= 0 ? "registers" : "smem";
+    return out;
+  }
+
+  out.blocks_per_sm = blocks;
+  out.warps_per_sm = blocks * warps_per_block;
+  out.occupancy =
+      static_cast<double>(out.warps_per_sm) / static_cast<double>(dev.max_warps_per_sm);
+
+  if (blocks == by_warps) {
+    out.limiter = "warps";
+  } else if (blocks == by_regs) {
+    out.limiter = "registers";
+  } else if (blocks == by_smem) {
+    out.limiter = "smem";
+  } else {
+    out.limiter = "blocks";
+  }
+  return out;
+}
+
+}  // namespace isaac::gpusim

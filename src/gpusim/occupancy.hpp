@@ -1,0 +1,28 @@
+// CUDA-style occupancy calculator.
+//
+// Occupancy — resident warps per SM divided by the device's warp slots — is
+// the central hidden variable in the paper's analysis (§8.1): tile sizes
+// determine register/shared-memory pressure, which caps resident blocks,
+// which caps the warp count 'n' that enters the latency-hiding model eq. (2).
+#pragma once
+
+#include "gpusim/device.hpp"
+
+namespace isaac::gpusim {
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;   // resident thread blocks per SM
+  int warps_per_sm = 0;    // resident warps per SM
+  double occupancy = 0.0;  // warps_per_sm / max_warps_per_sm, in [0,1]
+  /// Which limit bound the result ("warps", "registers", "smem", "blocks",
+  /// or "threads" when the block itself is illegal).
+  const char* limiter = "";
+};
+
+/// Compute resident blocks/warps for one kernel on one device.
+/// Returns blocks_per_sm == 0 (occupancy 0) when the block cannot launch at
+/// all: threads_per_block or regs or smem exceed hard per-block limits.
+OccupancyResult occupancy(const DeviceDescriptor& dev, int threads_per_block,
+                          int regs_per_thread, int smem_bytes_per_block);
+
+}  // namespace isaac::gpusim

@@ -1,0 +1,168 @@
+#include "gpusim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isaac::gpusim {
+
+namespace {
+
+/// Volkov eq. (2): average cycles per warp-instruction for a pipeline with
+/// `latency` and `throughput` (warp-instructions/cycle) when `concurrency`
+/// independent instruction streams are available to the scheduler.
+double unit_cost(double latency, double throughput, double concurrency) {
+  const double c = std::max(concurrency, 1.0);
+  return std::max(latency / c, 1.0 / throughput);
+}
+
+}  // namespace
+
+PerfBreakdown evaluate(const DeviceDescriptor& dev, const KernelProfile& p) {
+  PerfBreakdown out;
+
+  if (p.grid_blocks <= 0 || p.threads_per_block <= 0) {
+    out.invalid_reason = "empty launch";
+    return out;
+  }
+  if (p.useful_flops <= 0.0) {
+    out.invalid_reason = "no useful work";
+    return out;
+  }
+
+  out.occ = occupancy(dev, p.threads_per_block, p.regs_per_thread, p.smem_bytes_per_block);
+  if (out.occ.blocks_per_sm <= 0) {
+    out.invalid_reason = std::string("kernel cannot launch: ") + out.occ.limiter + " limit";
+    return out;
+  }
+
+  const int warps_per_block = (p.threads_per_block + dev.warp_size - 1) / dev.warp_size;
+
+  // ---- wave structure -----------------------------------------------------
+  // The block scheduler streams new blocks as residents finish, so large
+  // grids are not quantized into hard waves; only the tail straggles (a
+  // fraction of one wave where some SMs idle).
+  const double concurrent_blocks =
+      static_cast<double>(out.occ.blocks_per_sm) * dev.num_sms;
+  const double raw_waves = static_cast<double>(p.grid_blocks) / concurrent_blocks;
+  if (raw_waves <= 1.0) {
+    out.waves = 1.0;
+  } else {
+    const double frac = raw_waves - std::floor(raw_waves);
+    out.waves = raw_waves + (frac > 1e-9 ? 0.3 : 0.0);
+  }
+
+  // Warps actually co-resident on a busy SM: capped by the grid itself when
+  // it is too small to fill the device (the ICA / small-output regime).
+  const double blocks_per_busy_sm =
+      std::min<double>(out.occ.blocks_per_sm,
+                       std::ceil(static_cast<double>(p.grid_blocks) / dev.num_sms));
+  out.resident_warps = blocks_per_busy_sm * warps_per_block;
+  const double n = out.resident_warps;
+
+  // ---- per-SM per-wave instruction totals (warp-instructions) -------------
+  // Each resident warp retires the per-thread counts once (SIMT).
+  const double warps_per_wave_sm = blocks_per_busy_sm * warps_per_block;
+
+  // Arithmetic pipeline. fp64 and fp16 scale the FMA issue rate; fp16x2
+  // pairing was already folded into fma_insts by the generator (two MACs per
+  // instruction), so its instruction rate matches fp32 while FLOPs double.
+  double fma_tp = dev.fma_warp_inst_per_cycle();
+  switch (p.dtype) {
+    case DataType::F64:
+      fma_tp *= dev.fp64_ratio;
+      break;
+    case DataType::F16:
+      fma_tp *= p.uses_fp16x2 ? dev.fp16x2_ratio / 2.0 : dev.fp16_scalar_ratio;
+      break;
+    case DataType::F32:
+      break;
+  }
+  // Integer/address arithmetic shares issue slots with FMA at fp32 rate.
+  const double int_tp = dev.fma_warp_inst_per_cycle();
+
+  const double arith_conc = n * std::max(1.0, p.ilp_arith);
+  const double fma_cycles =
+      p.fma_insts * warps_per_wave_sm * unit_cost(dev.alu_latency_cycles, fma_tp, arith_conc);
+  const double int_cycles =
+      p.int_insts * warps_per_wave_sm * unit_cost(dev.alu_latency_cycles, int_tp, arith_conc);
+  out.cycles_arith = fma_cycles + int_cycles;
+
+  // Global memory pipeline: loads, stores, and atomics (which serialize at
+  // the L2 and cost a penalty factor in issue slots).
+  const double mem_insts = p.ld_global_insts + p.st_global_insts +
+                           p.atom_global_insts * dev.atomic_penalty;
+  const double mem_conc = n * std::max(1.0, p.mlp_mem);
+  out.cycles_mem = mem_insts * warps_per_wave_sm *
+                   unit_cost(dev.mem_latency_cycles, dev.lsu_warp_inst_per_cycle, mem_conc);
+
+  // Shared-memory pipeline; bank conflicts divide throughput.
+  const double smem_insts = p.ld_shared_insts + p.st_shared_insts;
+  const double smem_tp = dev.smem_warp_inst_per_cycle / std::max(1.0, p.smem_conflict_ways);
+  const double smem_conc = n * std::max(1.0, p.ilp_smem);
+  out.cycles_smem =
+      smem_insts * warps_per_wave_sm * unit_cost(dev.smem_latency_cycles, smem_tp, smem_conc);
+
+  // Barriers: every sync drains the block's warps; cost grows mildly with
+  // block width.
+  out.cycles_sync = p.bar_syncs * (30.0 + 2.0 * warps_per_block);
+
+  // ---- per-wave time: pipelines overlap (paper eq. (3)) -------------------
+  double wave_cycles =
+      std::max({out.cycles_arith, out.cycles_mem, out.cycles_smem}) + out.cycles_sync;
+  // Pipeline fill: the first prefetch round cannot be hidden.
+  wave_cycles += dev.mem_latency_cycles;
+  wave_cycles *= p.bounds_overhead_factor;
+
+  const double clock_hz = dev.boost_clock_ghz * 1e9;
+  out.time_sm_s = out.waves * wave_cycles / clock_hz;
+
+  // ---- DRAM traffic model --------------------------------------------------
+  // Requested bytes inflate when accesses are poorly coalesced.
+  const double coalescing = std::clamp(p.coalescing_efficiency, 0.05, 1.0);
+  const double requested = p.requested_read_bytes / coalescing;
+  const double compulsory = std::min(p.dram_read_bytes / coalescing, requested);
+
+  // Re-reads of tiles shared between concurrently resident blocks hit in L2
+  // when the instantaneous slice working set fits; unsynchronized blocks
+  // drift, so the effective footprint is a few slices wide.
+  const double per_wave_unique = std::max(p.wave_unique_bytes_hint, 1.0);
+  const double unique_total =
+      std::clamp(out.waves * per_wave_unique, compulsory, std::max(requested, compulsory));
+  // Blocks are not lockstep-synchronized: the live footprint is a few U-wide
+  // slices deep, not one.
+  constexpr double kDriftFactor = 4.0;
+  const double slice_ws = p.slice_working_set_bytes * kDriftFactor;
+  const double capacity_hit =
+      slice_ws > 0.0 ? std::clamp(dev.l2_bytes / slice_ws, 0.0, 1.0) : 1.0;
+
+  out.dram_read_bytes = requested - (requested - unique_total) * capacity_hit;
+  out.l2_hit_rate = requested > 0.0 ? 1.0 - out.dram_read_bytes / requested : 0.0;
+
+  // Atomics read-modify-write at the memory: double the write traffic share
+  // issued through atom.add.
+  out.dram_write_bytes = p.dram_write_bytes;
+
+  const double bw = dev.dram_bandwidth_gbs * 1e9;
+  out.time_dram_s = (out.dram_read_bytes + out.dram_write_bytes) / bw;
+
+  // ---- combine -------------------------------------------------------------
+  const double overhead_s = (1 + p.extra_launches) * dev.launch_overhead_us * 1e-6 +
+                            p.extra_stream_bytes / bw;
+  out.seconds = std::max(out.time_sm_s, out.time_dram_s) + overhead_s;
+  out.achieved_tflops = p.useful_flops / out.seconds / 1e12;
+
+  if (out.time_dram_s >= out.time_sm_s) {
+    out.bottleneck = "dram";
+  } else if (out.cycles_arith >= out.cycles_mem && out.cycles_arith >= out.cycles_smem) {
+    out.bottleneck = "compute";
+  } else if (out.cycles_mem >= out.cycles_smem) {
+    out.bottleneck = "memory-issue";
+  } else {
+    out.bottleneck = "smem";
+  }
+
+  out.valid = true;
+  return out;
+}
+
+}  // namespace isaac::gpusim

@@ -1,0 +1,60 @@
+// Analytical performance model for the simulated GPU.
+//
+// Implements the latency-hiding model the paper builds its regression on
+// (§5.2, eqs. (2)-(3), after Volkov): per-pipeline instruction streams whose
+// unit cost is max(latency / concurrency, 1 / throughput), overlapped across
+// pipelines with a max(), bounded below by DRAM bandwidth, and quantized into
+// scheduling waves. All the effects the paper's analysis section names are
+// modelled from first principles:
+//
+//   * occupancy from register/shared-memory pressure (§8.1),
+//   * tile-quantization waste when N < N_L (§8.1: cuBLAS's 64/128-wide tiles
+//     assign threads to a non-existent part of C),
+//   * instruction-level parallelism from accumulator count (§3.2),
+//   * reduction splitting: K_L adds warps (latency hiding), K_G adds blocks
+//     but pays atomics (§8.2),
+//   * prefetch width U: fewer, wider loads raise effective bandwidth (§8.1),
+//   * fp16x2 pairing and fp64 throughput ratios (§7.3.2),
+//   * predicated vs branchy vs padded bounds handling (§8.3),
+//   * L2 reuse across concurrently resident blocks.
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace isaac::gpusim {
+
+/// Everything the simulator "measures" about one launch, noise-free.
+struct PerfBreakdown {
+  bool valid = false;           // false => kernel cannot launch on this device
+  std::string invalid_reason;
+
+  double seconds = 0.0;         // end-to-end kernel time (incl. launch overhead)
+  double achieved_tflops = 0.0; // useful_flops / seconds / 1e12
+
+  // ---- counters (what a profiler would report) ----
+  OccupancyResult occ;
+  double waves = 0.0;               // scheduling waves over the grid
+  double resident_warps = 0.0;      // warps actually co-resident per SM
+  double l2_hit_rate = 0.0;         // fraction of requested reads served by L2
+  double dram_read_bytes = 0.0;     // modelled DRAM read traffic
+  double dram_write_bytes = 0.0;    // modelled DRAM write traffic
+
+  // ---- per-pipeline cycle totals for one SM (pre-overlap) ----
+  double cycles_arith = 0.0;
+  double cycles_mem = 0.0;
+  double cycles_smem = 0.0;
+  double cycles_sync = 0.0;
+
+  double time_sm_s = 0.0;    // compute/issue-limited time
+  double time_dram_s = 0.0;  // bandwidth-limited time
+  const char* bottleneck = "";  // "compute" | "memory-issue" | "smem" | "dram"
+};
+
+/// Evaluate the model. Deterministic; noise is applied by the Simulator.
+PerfBreakdown evaluate(const DeviceDescriptor& dev, const KernelProfile& p);
+
+}  // namespace isaac::gpusim

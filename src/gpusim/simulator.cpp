@@ -1,0 +1,85 @@
+#include "gpusim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace isaac::gpusim {
+
+Simulator::Simulator(const DeviceDescriptor& dev, double noise_sigma, std::uint64_t seed)
+    : dev_(dev), noise_sigma_(noise_sigma), seed_(seed) {}
+
+std::uint64_t Simulator::profile_fingerprint(const KernelProfile& p) const {
+  // FNV-1a over the fields that determine performance; label excluded so two
+  // identically configured kernels time identically.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  auto mixd = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(p.grid_blocks));
+  mix(static_cast<std::uint64_t>(p.threads_per_block));
+  mix(static_cast<std::uint64_t>(p.regs_per_thread));
+  mix(static_cast<std::uint64_t>(p.smem_bytes_per_block));
+  mixd(p.fma_insts);
+  mixd(p.int_insts);
+  mixd(p.ld_global_insts);
+  mixd(p.st_global_insts);
+  mixd(p.atom_global_insts);
+  mixd(p.ld_shared_insts);
+  mixd(p.st_shared_insts);
+  mixd(p.dram_read_bytes);
+  mixd(p.useful_flops);
+  mix(static_cast<std::uint64_t>(p.dtype));
+  mix(p.uses_fp16x2 ? 1 : 0);
+  mix(seed_);
+  return h;
+}
+
+LaunchResult Simulator::launch(const KernelProfile& profile, int rep) const {
+  LaunchResult out;
+  out.model = gpusim::evaluate(dev_, profile);
+  if (!out.model.valid) return out;
+
+  double factor = 1.0;
+  if (noise_sigma_ > 0.0) {
+    Rng rng(profile_fingerprint(profile) ^
+            (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(rep) + 1)));
+    factor = rng.lognormal_factor(noise_sigma_);
+  }
+  out.valid = true;
+  out.seconds = out.model.seconds * factor;
+  out.tflops = profile.useful_flops / out.seconds / 1e12;
+  return out;
+}
+
+LaunchResult Simulator::launch_median(const KernelProfile& profile, int reps) const {
+  LaunchResult best;
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(std::max(reps, 1)));
+  for (int i = 0; i < std::max(reps, 1); ++i) {
+    LaunchResult r = launch(profile, i);
+    if (!r.valid) return r;
+    times.push_back(r.seconds);
+    best = r;
+  }
+  std::nth_element(times.begin(), times.begin() + times.size() / 2, times.end());
+  best.seconds = times[times.size() / 2];
+  best.tflops = profile.useful_flops / best.seconds / 1e12;
+  return best;
+}
+
+PerfBreakdown Simulator::evaluate(const KernelProfile& profile) const {
+  return gpusim::evaluate(dev_, profile);
+}
+
+}  // namespace isaac::gpusim

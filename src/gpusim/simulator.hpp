@@ -1,0 +1,55 @@
+// Simulator: the single timing oracle the rest of the system talks to.
+//
+// Plays the role the physical GPU plays in the paper: the tuner's data
+// collector, the runtime's top-k re-evaluation, and every bench obtain kernel
+// timings exclusively through Simulator::launch(). Measurements carry
+// multiplicative lognormal noise seeded deterministically from the kernel
+// profile, so (a) re-measuring the same kernel reproduces the same sample
+// sequence, and (b) the regression model has to cope with noisy targets just
+// as in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/perf_model.hpp"
+
+namespace isaac::gpusim {
+
+struct LaunchResult {
+  bool valid = false;
+  double seconds = 0.0;   // noisy measurement
+  double tflops = 0.0;    // useful_flops / seconds
+  PerfBreakdown model;    // noise-free model output + counters
+};
+
+class Simulator {
+ public:
+  /// noise_sigma: sigma of the lognormal run-to-run factor (0 disables noise).
+  explicit Simulator(const DeviceDescriptor& dev, double noise_sigma = 0.03,
+                     std::uint64_t seed = 0xC0FFEE);
+
+  const DeviceDescriptor& device() const noexcept { return dev_; }
+  double noise_sigma() const noexcept { return noise_sigma_; }
+
+  /// One timed launch. `rep` selects the noise draw: re-launching the same
+  /// kernel with the same rep reproduces the same measurement, different reps
+  /// model run-to-run variance. Thread-safe (no mutable state).
+  LaunchResult launch(const KernelProfile& profile, int rep = 0) const;
+
+  /// Median of `reps` launches — what a careful benchmark would report.
+  LaunchResult launch_median(const KernelProfile& profile, int reps) const;
+
+  /// Noise-free model evaluation (used by tests and analysis benches).
+  PerfBreakdown evaluate(const KernelProfile& profile) const;
+
+ private:
+  std::uint64_t profile_fingerprint(const KernelProfile& p) const;
+
+  DeviceDescriptor dev_;
+  double noise_sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace isaac::gpusim

@@ -1,0 +1,42 @@
+// Shared scalar-type vocabulary for the simulated GPU stack.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace isaac::gpusim {
+
+/// Element types the kernel generators support. The functional executors
+/// compute in fp32 regardless (numerical precision of the device is not
+/// modelled); DataType drives the performance model: register footprint,
+/// instruction pairing (fp16x2) and throughput ratios.
+enum class DataType { F16, F32, F64 };
+
+inline std::size_t dtype_size(DataType dt) noexcept {
+  switch (dt) {
+    case DataType::F16:
+      return 2;
+    case DataType::F64:
+      return 8;
+    case DataType::F32:
+    default:
+      return 4;
+  }
+}
+
+inline const char* dtype_name(DataType dt) noexcept {
+  switch (dt) {
+    case DataType::F16:
+      return "f16";
+    case DataType::F64:
+      return "f64";
+    case DataType::F32:
+    default:
+      return "f32";
+  }
+}
+
+/// Parse "f16"/"f32"/"f64" (also accepts "half"/"float"/"double").
+bool parse_dtype(const std::string& s, DataType& out) noexcept;
+
+}  // namespace isaac::gpusim

@@ -1,0 +1,145 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace isaac::linalg {
+
+namespace {
+
+struct GemmDims {
+  std::size_t m, n, k;
+};
+
+GemmDims check_gemm_shapes(Trans trans_a, Trans trans_b, const Matrix& a, const Matrix& b,
+                           const Matrix& c) {
+  const std::size_t m = (trans_a == Trans::No) ? a.rows() : a.cols();
+  const std::size_t ka = (trans_a == Trans::No) ? a.cols() : a.rows();
+  const std::size_t kb = (trans_b == Trans::No) ? b.rows() : b.cols();
+  const std::size_t n = (trans_b == Trans::No) ? b.cols() : b.rows();
+  if (ka != kb) throw std::invalid_argument("gemm: inner dimensions disagree");
+  if (c.rows() != m || c.cols() != n) throw std::invalid_argument("gemm: C shape mismatch");
+  return {m, n, ka};
+}
+
+// Pack op(A) rows [r0, r1) into a contiguous (r1-r0) x k buffer so the inner
+// kernel always streams unit-stride.
+void pack_a(Trans trans_a, const Matrix& a, std::size_t r0, std::size_t r1, std::size_t k,
+            std::vector<float>& buf) {
+  buf.resize((r1 - r0) * k);
+  if (trans_a == Trans::No) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      std::copy_n(a.data() + r * a.cols(), k, buf.data() + (r - r0) * k);
+    }
+  } else {
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t x = 0; x < k; ++x) buf[(r - r0) * k + x] = a(x, r);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+          float beta, Matrix& c) {
+  const auto [m, n, k] = check_gemm_shapes(trans_a, trans_b, a, b, c);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    scale(beta, c);
+    return;
+  }
+
+  // Pre-transpose B once when needed; for the MLP workloads (n is a layer
+  // width, k a batch) this costs far less than strided inner loops.
+  const Matrix* bp = &b;
+  Matrix b_packed;
+  if (trans_b == Trans::Yes) {
+    b_packed = b.transposed();
+    bp = &b_packed;
+  }
+
+  constexpr std::size_t kRowBlock = 32;
+  const std::size_t blocks = (m + kRowBlock - 1) / kRowBlock;
+
+  ThreadPool::global().parallel_for(blocks, [&](std::size_t blk_begin, std::size_t blk_end) {
+    std::vector<float> a_buf;
+    for (std::size_t blk = blk_begin; blk < blk_end; ++blk) {
+      const std::size_t r0 = blk * kRowBlock;
+      const std::size_t r1 = std::min(m, r0 + kRowBlock);
+      pack_a(trans_a, a, r0, r1, k, a_buf);
+      for (std::size_t r = r0; r < r1; ++r) {
+        float* crow = c.data() + r * n;
+        if (beta == 0.0f) {
+          std::fill_n(crow, n, 0.0f);
+        } else if (beta != 1.0f) {
+          for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
+        const float* arow = a_buf.data() + (r - r0) * k;
+        for (std::size_t x = 0; x < k; ++x) {
+          const float av = alpha * arow[x];
+          if (av == 0.0f) continue;
+          const float* brow = bp->data() + x * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+void gemm_reference(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+                    float beta, Matrix& c) {
+  const auto [m, n, k] = check_gemm_shapes(trans_a, trans_b, a, b, c);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t x = 0; x < k; ++x) {
+        const float av = (trans_a == Trans::No) ? a(i, x) : a(x, i);
+        const float bv = (trans_b == Trans::No) ? b(x, j) : b(j, x);
+        acc += static_cast<double>(av) * bv;
+      }
+      c(i, j) = alpha * static_cast<float>(acc) + beta * c(i, j);
+    }
+  }
+}
+
+void gemv(Trans trans_a, float alpha, const Matrix& a, const Matrix& x, float beta, Matrix& y) {
+  if (x.cols() != 1 || y.cols() != 1) throw std::invalid_argument("gemv: x/y must be column vectors");
+  gemm(trans_a, Trans::No, alpha, a, x, beta, y);
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) {
+    throw std::invalid_argument("axpy: shape mismatch");
+  }
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) yp[i] += alpha * xp[i];
+}
+
+void scale(float alpha, Matrix& x) {
+  float* p = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) p[i] *= alpha;
+}
+
+Matrix col_sums(const Matrix& a) {
+  Matrix out(1, a.cols(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) out(0, c) += row[c];
+  }
+  return out;
+}
+
+void add_row_vector(Matrix& a, const Matrix& row) {
+  if (row.rows() != 1 || row.cols() != a.cols()) {
+    throw std::invalid_argument("add_row_vector: shape mismatch");
+  }
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    float* arow = a.data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) arow[c] += row(0, c);
+  }
+}
+
+}  // namespace isaac::linalg

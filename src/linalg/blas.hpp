@@ -1,0 +1,38 @@
+// Blocked, threaded BLAS-like routines on Matrix.
+//
+// Only what the MLP and the reference checks need: GEMM with optional
+// transposes, GEMV, rank-agnostic elementwise ops, and row/col reductions.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace isaac::linalg {
+
+enum class Trans { No, Yes };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// op(A) is rows(A) x cols(A) after the optional transpose; shapes are
+/// validated against C. Parallelized over row blocks of C on the global pool.
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+          float beta, Matrix& c);
+
+/// Naive triple loop, serial; used to validate the blocked kernel.
+void gemm_reference(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+                    float beta, Matrix& c);
+
+/// y = alpha * op(A) * x + beta * y (x, y are n x 1 matrices).
+void gemv(Trans trans_a, float alpha, const Matrix& a, const Matrix& x, float beta, Matrix& y);
+
+/// y += alpha * x (elementwise over equal shapes).
+void axpy(float alpha, const Matrix& x, Matrix& y);
+
+/// x *= alpha.
+void scale(float alpha, Matrix& x);
+
+/// Per-column sum of rows: returns 1 x cols.
+Matrix col_sums(const Matrix& a);
+
+/// Broadcast-add a 1 x cols row vector onto every row of a.
+void add_row_vector(Matrix& a, const Matrix& row);
+
+}  // namespace isaac::linalg

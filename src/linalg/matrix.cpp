@@ -1,0 +1,63 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isaac::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+void Matrix::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::randomize_uniform(Rng& rng, float lo, float hi) {
+  for (float& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Matrix::randomize_normal(Rng& rng, float mean, float stddev) {
+  for (float& x : data_) x = static_cast<float>(rng.normal(mean, stddev));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("Matrix::max_abs_diff: shape mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(a.data()[i] - b.data()[i])));
+  }
+  return m;
+}
+
+}  // namespace isaac::linalg

@@ -1,0 +1,64 @@
+// Dense row-major single-precision matrix.
+//
+// This is the CPU substrate the MLP trains on. The paper remarks (§5) that
+// MLPs over ~20-dimensional feature vectors reduce to highly rectangular
+// GEMMs — exactly the input-sensitivity regime ISAAC targets — so the
+// in-repo BLAS keeps that workload honest instead of delegating to an
+// external library.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace isaac::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major literal: Matrix({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  float& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  void fill(float v) noexcept;
+  void set_zero() noexcept { fill(0.0f); }
+
+  /// i.i.d. uniform in [lo, hi).
+  void randomize_uniform(Rng& rng, float lo, float hi);
+  /// i.i.d. normal(mean, stddev).
+  void randomize_normal(Rng& rng, float mean, float stddev);
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  /// max_ij |a_ij - b_ij|; throws on shape mismatch.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace isaac::linalg

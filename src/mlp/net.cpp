@@ -1,0 +1,134 @@
+#include "mlp/net.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace isaac::mlp {
+
+using linalg::Matrix;
+using linalg::Trans;
+
+Mlp::Mlp(const MlpConfig& config) : config_(config) {
+  if (config.inputs <= 0) throw std::invalid_argument("Mlp: inputs must be positive");
+  Rng rng(config.seed);
+  std::vector<int> dims;
+  dims.push_back(config.inputs);
+  for (int h : config.hidden) {
+    if (h <= 0) throw std::invalid_argument("Mlp: hidden sizes must be positive");
+    dims.push_back(h);
+  }
+  dims.push_back(1);  // scalar performance prediction
+
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    Matrix w(static_cast<std::size_t>(dims[l]), static_cast<std::size_t>(dims[l + 1]));
+    // He initialization: ReLU halves the variance.
+    w.randomize_normal(rng, 0.0f,
+                       static_cast<float>(std::sqrt(2.0 / static_cast<double>(dims[l]))));
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(1, static_cast<std::size_t>(dims[l + 1]), 0.0f);
+  }
+}
+
+std::size_t Mlp::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (const auto& w : weights_) n += w.size();
+  for (const auto& b : biases_) n += b.size();
+  return n;
+}
+
+Matrix Mlp::forward(const Matrix& x, Cache* cache) const {
+  if (x.cols() != static_cast<std::size_t>(config_.inputs)) {
+    throw std::invalid_argument("Mlp::forward: feature arity mismatch");
+  }
+  if (cache) {
+    cache->a.clear();
+    cache->z.clear();
+    cache->a.push_back(x);
+  }
+  Matrix a = x;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Matrix z(a.rows(), weights_[l].cols());
+    linalg::gemm(Trans::No, Trans::No, 1.0f, a, weights_[l], 0.0f, z);
+    linalg::add_row_vector(z, biases_[l]);
+    if (cache) cache->z.push_back(z);
+    const bool is_output = l + 1 == weights_.size();
+    if (!is_output) {
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        z.data()[i] = z.data()[i] > 0.0f ? z.data()[i] : 0.0f;  // relu
+      }
+    }
+    if (cache) cache->a.push_back(z);
+    a = std::move(z);
+  }
+  return a;
+}
+
+void Mlp::backward(const Cache& cache, const Matrix& dLdy, std::vector<Matrix>& dW,
+                   std::vector<Matrix>& db) const {
+  const std::size_t L = weights_.size();
+  if (cache.a.size() != L + 1 || cache.z.size() != L) {
+    throw std::invalid_argument("Mlp::backward: cache does not match network");
+  }
+  dW.assign(L, Matrix());
+  db.assign(L, Matrix());
+
+  Matrix delta = dLdy;  // gradient flowing backwards; starts at the output
+  for (std::size_t l = L; l-- > 0;) {
+    const bool is_output = l + 1 == L;
+    if (!is_output) {
+      // delta ⊙ relu'(z_l)
+      const Matrix& z = cache.z[l];
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        if (z.data()[i] <= 0.0f) delta.data()[i] = 0.0f;
+      }
+    }
+    // dW_l = a_{l-1}^T · delta ; db_l = column sums of delta
+    dW[l] = Matrix(weights_[l].rows(), weights_[l].cols());
+    linalg::gemm(Trans::Yes, Trans::No, 1.0f, cache.a[l], delta, 0.0f, dW[l]);
+    db[l] = linalg::col_sums(delta);
+    if (l > 0) {
+      Matrix next(delta.rows(), weights_[l].rows());
+      linalg::gemm(Trans::No, Trans::Yes, 1.0f, delta, weights_[l], 0.0f, next);
+      delta = std::move(next);
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void Adam::step(std::vector<linalg::Matrix*> params,
+                const std::vector<const linalg::Matrix*>& grads) {
+  if (params.size() != grads.size()) throw std::invalid_argument("Adam::step: arity mismatch");
+  if (m_.empty()) {
+    for (const auto* p : params) {
+      m_.emplace_back(p->rows(), p->cols(), 0.0f);
+      v_.emplace_back(p->rows(), p->cols(), 0.0f);
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Matrix& p = *params[i];
+    const Matrix& g = *grads[i];
+    if (p.rows() != g.rows() || p.cols() != g.cols()) {
+      throw std::invalid_argument("Adam::step: gradient shape mismatch");
+    }
+    float* mp = m_[i].data();
+    float* vp = v_[i].data();
+    float* pp = p.data();
+    const float* gp = g.data();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      mp[j] = static_cast<float>(beta1_ * mp[j] + (1.0 - beta1_) * gp[j]);
+      vp[j] = static_cast<float>(beta2_ * vp[j] + (1.0 - beta2_) * gp[j] * gp[j]);
+      const double mhat = mp[j] / bc1;
+      const double vhat = vp[j] / bc2;
+      pp[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + epsilon_));
+    }
+  }
+}
+
+}  // namespace isaac::mlp

@@ -1,0 +1,77 @@
+// Multi-layer perceptron (paper §5, Figure 4 / Algorithm 1).
+//
+// Fully connected layers with ReLU activations and a linear scalar output,
+// trained with minibatch gradient descent on the MSE loss. The forward pass
+// is exactly Algorithm 1: a_{-1} = x; z_n = W_n a_{n-1}; a_n = f_n(z_n).
+// ReLU is chosen because the performance surface is built from maxima
+// (eq. (2)-(3)); multiplicative relationships are handled by the log feature
+// transform applied upstream (§5.2).
+//
+// All math runs on the in-repo linalg BLAS — fittingly, MLP inference over
+// ~15-feature vectors is itself the highly rectangular GEMM regime ISAAC
+// targets (§5: the system "could itself be bootstrapped").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace isaac::mlp {
+
+struct MlpConfig {
+  int inputs = 15;
+  std::vector<int> hidden{64, 128, 64};
+  std::uint64_t seed = 0x11A0;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(const MlpConfig& config);
+
+  /// Activations retained for backprop.
+  struct Cache {
+    std::vector<linalg::Matrix> a;  // a[0] = input, a[L] = output
+    std::vector<linalg::Matrix> z;  // pre-activations per layer
+  };
+
+  /// x: [batch × inputs]; returns [batch × 1] predictions.
+  linalg::Matrix forward(const linalg::Matrix& x, Cache* cache = nullptr) const;
+
+  /// dLdy: [batch × 1] gradient of the loss w.r.t. the output. Fills
+  /// per-layer weight/bias gradients (same shapes as weights()/biases()).
+  void backward(const Cache& cache, const linalg::Matrix& dLdy,
+                std::vector<linalg::Matrix>& dW, std::vector<linalg::Matrix>& db) const;
+
+  std::size_t num_layers() const noexcept { return weights_.size(); }
+  std::size_t num_parameters() const noexcept;
+
+  std::vector<linalg::Matrix>& weights() noexcept { return weights_; }
+  std::vector<linalg::Matrix>& biases() noexcept { return biases_; }
+  const std::vector<linalg::Matrix>& weights() const noexcept { return weights_; }
+  const std::vector<linalg::Matrix>& biases() const noexcept { return biases_; }
+
+  const MlpConfig& config() const noexcept { return config_; }
+
+ private:
+  MlpConfig config_;
+  std::vector<linalg::Matrix> weights_;  // [fan_in × fan_out] per layer
+  std::vector<linalg::Matrix> biases_;   // [1 × fan_out] per layer
+};
+
+/// Adam optimizer over the MLP's parameter list.
+class Adam {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  void step(std::vector<linalg::Matrix*> params, const std::vector<const linalg::Matrix*>& grads);
+
+ private:
+  double lr_, beta1_, beta2_, epsilon_;
+  std::int64_t t_ = 0;
+  std::vector<linalg::Matrix> m_, v_;
+};
+
+}  // namespace isaac::mlp

@@ -1,0 +1,263 @@
+#include "mlp/regressor.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+#include "linalg/blas.hpp"
+
+namespace isaac::mlp {
+
+using linalg::Matrix;
+
+void Scaler::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("Scaler::fit: empty data");
+  const std::size_t f = rows.front().size();
+  mean.assign(f, 0.0);
+  stddev.assign(f, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < f; ++i) mean[i] += row[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < f; ++i) {
+      const double d = row[i] - mean[i];
+      stddev[i] += d * d;
+    }
+  }
+  for (double& s : stddev) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature: pass through centred
+  }
+}
+
+void Scaler::apply(std::vector<double>& row) const {
+  if (row.size() != mean.size()) throw std::invalid_argument("Scaler::apply: arity mismatch");
+  for (std::size_t i = 0; i < row.size(); ++i) row[i] = (row[i] - mean[i]) / stddev[i];
+}
+
+namespace {
+
+std::vector<double> preprocess(const std::vector<double>& raw, bool log_features) {
+  std::vector<double> out = raw;
+  if (log_features) {
+    for (double& v : out) {
+      if (v <= 0.0) throw std::invalid_argument("log feature transform: non-positive feature");
+      v = std::log(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Regressor::Regressor(Mlp net, Scaler feature_scaler, double y_mean, double y_std,
+                     bool log_features)
+    : net_(std::move(net)),
+      feature_scaler_(std::move(feature_scaler)),
+      y_mean_(y_mean),
+      y_std_(y_std),
+      log_features_(log_features) {}
+
+Matrix Regressor::encode_batch(const std::vector<std::vector<double>>& rows) const {
+  Matrix x(rows.size(), feature_scaler_.mean.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> row = preprocess(rows[r], log_features_);
+    feature_scaler_.apply(row);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      x(r, c) = static_cast<float>(row[c]);
+    }
+  }
+  return x;
+}
+
+double Regressor::predict_gflops(const std::vector<double>& raw_features) const {
+  return predict_gflops_batch({raw_features})[0];
+}
+
+std::vector<double> Regressor::predict_gflops_batch(
+    const std::vector<std::vector<double>>& rows) const {
+  if (rows.empty()) return {};
+  const Matrix x = encode_batch(rows);
+  const Matrix y = net_.forward(x);
+  std::vector<double> out(rows.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double z = static_cast<double>(y(i, 0)) * y_std_ + y_mean_;  // log-GFLOPS
+    out[i] = std::exp(z);
+  }
+  return out;
+}
+
+double Regressor::mse(const tuning::Dataset& data) const {
+  if (data.empty()) throw std::invalid_argument("Regressor::mse: empty dataset");
+  std::vector<std::vector<double>> rows;
+  rows.reserve(data.size());
+  for (const auto& s : data.samples()) rows.push_back(s.x);
+  const Matrix x = encode_batch(rows);
+  const Matrix y = net_.forward(x);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double target = (std::log(std::max(data[i].y, 1e-6)) - y_mean_) / y_std_;
+    const double d = static_cast<double>(y(i, 0)) - target;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(data.size());
+}
+
+void Regressor::save(std::ostream& os) const {
+  os << "isaac-regressor v1\n";
+  os << "log_features " << (log_features_ ? 1 : 0) << "\n";
+  os << "y_scale " << y_mean_ << " " << y_std_ << "\n";
+  os << "features " << feature_scaler_.mean.size() << "\n";
+  for (std::size_t i = 0; i < feature_scaler_.mean.size(); ++i) {
+    os << feature_scaler_.mean[i] << " " << feature_scaler_.stddev[i] << "\n";
+  }
+  const auto& cfg = net_.config();
+  os << "inputs " << cfg.inputs << "\nhidden " << cfg.hidden.size();
+  for (int h : cfg.hidden) os << " " << h;
+  os << "\n";
+  for (std::size_t l = 0; l < net_.num_layers(); ++l) {
+    const auto& w = net_.weights()[l];
+    const auto& b = net_.biases()[l];
+    os << "layer " << w.rows() << " " << w.cols() << "\n";
+    for (std::size_t i = 0; i < w.size(); ++i) os << w.data()[i] << " ";
+    os << "\n";
+    for (std::size_t i = 0; i < b.size(); ++i) os << b.data()[i] << " ";
+    os << "\n";
+  }
+}
+
+Regressor Regressor::load(std::istream& is) {
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "isaac-regressor") throw std::runtime_error("Regressor::load: bad header");
+  std::string key;
+  int logf = 1;
+  is >> key >> logf;
+  double y_mean = 0.0, y_std = 1.0;
+  is >> key >> y_mean >> y_std;
+  std::size_t nf = 0;
+  is >> key >> nf;
+  Scaler scaler;
+  scaler.mean.resize(nf);
+  scaler.stddev.resize(nf);
+  for (std::size_t i = 0; i < nf; ++i) is >> scaler.mean[i] >> scaler.stddev[i];
+  MlpConfig cfg;
+  is >> key >> cfg.inputs;
+  std::size_t nh = 0;
+  is >> key >> nh;
+  cfg.hidden.resize(nh);
+  for (auto& h : cfg.hidden) is >> h;
+  Mlp net(cfg);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    std::size_t r = 0, c = 0;
+    is >> key >> r >> c;
+    if (key != "layer" || r != net.weights()[l].rows() || c != net.weights()[l].cols()) {
+      throw std::runtime_error("Regressor::load: layer shape mismatch");
+    }
+    for (std::size_t i = 0; i < net.weights()[l].size(); ++i) is >> net.weights()[l].data()[i];
+    for (std::size_t i = 0; i < net.biases()[l].size(); ++i) is >> net.biases()[l].data()[i];
+  }
+  if (!is) throw std::runtime_error("Regressor::load: truncated stream");
+  return Regressor(std::move(net), std::move(scaler), y_mean, y_std, logf != 0);
+}
+
+Regressor train(const tuning::Dataset& train_data, const TrainConfig& config) {
+  if (train_data.empty()) throw std::invalid_argument("train: empty dataset");
+
+  // ---- fit preprocessing on training data ----
+  std::vector<std::vector<double>> rows;
+  rows.reserve(train_data.size());
+  std::vector<double> targets;
+  targets.reserve(train_data.size());
+  for (const auto& s : train_data.samples()) {
+    rows.push_back(preprocess(s.x, config.log_features));
+    targets.push_back(std::log(std::max(s.y, 1e-6)));
+  }
+  Scaler scaler;
+  scaler.fit(rows);
+  for (auto& r : rows) scaler.apply(r);
+
+  double y_mean = 0.0;
+  for (double t : targets) y_mean += t;
+  y_mean /= static_cast<double>(targets.size());
+  double y_var = 0.0;
+  for (double t : targets) y_var += (t - y_mean) * (t - y_mean);
+  const double y_std = std::max(std::sqrt(y_var / static_cast<double>(targets.size())), 1e-9);
+
+  // ---- encode once ----
+  MlpConfig net_cfg = config.net;
+  net_cfg.inputs = static_cast<int>(tuning::kNumFeatures);
+  net_cfg.seed = config.seed;
+  Mlp net(net_cfg);
+
+  const std::size_t n = rows.size();
+  Matrix x_all(n, tuning::kNumFeatures);
+  Matrix y_all(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < tuning::kNumFeatures; ++c) {
+      x_all(i, c) = static_cast<float>(rows[i][c]);
+    }
+    y_all(i, 0) = static_cast<float>((targets[i] - y_mean) / y_std);
+  }
+
+  // ---- minibatch Adam ----
+  Adam adam(config.learning_rate);
+  Rng rng(config.seed ^ 0xABCD);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  const std::size_t batch = static_cast<std::size_t>(std::max(config.batch_size, 1));
+  std::vector<Matrix> dW, db;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      const std::size_t bs = end - start;
+      Matrix xb(bs, tuning::kNumFeatures);
+      Matrix yb(bs, 1);
+      for (std::size_t i = 0; i < bs; ++i) {
+        const std::size_t src = order[start + i];
+        for (std::size_t c = 0; c < tuning::kNumFeatures; ++c) xb(i, c) = x_all(src, c);
+        yb(i, 0) = y_all(src, 0);
+      }
+
+      Mlp::Cache cache;
+      const Matrix pred = net.forward(xb, &cache);
+      Matrix dLdy(bs, 1);
+      double loss = 0.0;
+      for (std::size_t i = 0; i < bs; ++i) {
+        const float d = pred(i, 0) - yb(i, 0);
+        loss += static_cast<double>(d) * d;
+        dLdy(i, 0) = 2.0f * d / static_cast<float>(bs);
+      }
+      epoch_loss += loss / static_cast<double>(bs);
+      ++batches;
+
+      net.backward(cache, dLdy, dW, db);
+      std::vector<Matrix*> params;
+      std::vector<const Matrix*> grads;
+      for (std::size_t l = 0; l < net.num_layers(); ++l) {
+        params.push_back(&net.weights()[l]);
+        grads.push_back(&dW[l]);
+        params.push_back(&net.biases()[l]);
+        grads.push_back(&db[l]);
+      }
+      adam.step(params, grads);
+    }
+
+    if (config.on_epoch) {
+      config.on_epoch(epoch, epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1)));
+    }
+  }
+
+  return Regressor(std::move(net), std::move(scaler), y_mean, y_std, config.log_features);
+}
+
+}  // namespace isaac::mlp

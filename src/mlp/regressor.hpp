@@ -1,0 +1,73 @@
+// Regressor: the trained performance model R of the paper.
+//
+// Wraps the MLP with the §5.2 preprocessing pipeline:
+//   features:  x -> log(x) (unless ablated) -> standardize (train statistics)
+//   target:    y GFLOPS -> log(y) -> standardize
+// Cross-validation MSE is reported in standardized log-target units — the
+// scale on which Table 2's 0.06–0.17 values live.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "mlp/net.hpp"
+#include "tuning/dataset.hpp"
+
+namespace isaac::mlp {
+
+struct TrainConfig {
+  MlpConfig net;
+  int epochs = 12;
+  int batch_size = 256;
+  double learning_rate = 1e-3;
+  bool log_features = true;  // the §5.2 transform; false = ablation
+  std::uint64_t seed = 0x5EED;
+  /// Optional per-epoch callback (epoch index, train MSE in model units).
+  std::function<void(int, double)> on_epoch;
+};
+
+/// Per-feature affine standardization fitted on training data.
+struct Scaler {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  void fit(const std::vector<std::vector<double>>& rows);
+  void apply(std::vector<double>& row) const;
+};
+
+class Regressor {
+ public:
+  Regressor(Mlp net, Scaler feature_scaler, double y_mean, double y_std, bool log_features);
+
+  /// Predicted GFLOPS for a raw feature vector.
+  double predict_gflops(const std::vector<double>& raw_features) const;
+
+  /// Batched prediction (rows of raw features) — the hot path of runtime
+  /// inference, which scores hundreds of thousands of candidates.
+  std::vector<double> predict_gflops_batch(const std::vector<std::vector<double>>& rows) const;
+
+  /// MSE in standardized log-target units over a dataset (Table 2 metric).
+  double mse(const tuning::Dataset& data) const;
+
+  const Mlp& net() const noexcept { return net_; }
+  bool log_features() const noexcept { return log_features_; }
+
+  /// Model serialization (text format) for the profile cache.
+  void save(std::ostream& os) const;
+  static Regressor load(std::istream& is);
+
+ private:
+  linalg::Matrix encode_batch(const std::vector<std::vector<double>>& rows) const;
+
+  Mlp net_;
+  Scaler feature_scaler_;
+  double y_mean_, y_std_;
+  bool log_features_;
+};
+
+/// Train on `train_data`, reporting per-epoch progress via config.on_epoch.
+Regressor train(const tuning::Dataset& train_data, const TrainConfig& config);
+
+}  // namespace isaac::mlp

@@ -1,0 +1,350 @@
+#include "ptx/builder.hpp"
+
+#include <stdexcept>
+
+namespace isaac::ptx {
+
+KernelBuilder::KernelBuilder(std::string kernel_name) { kernel_.name = std::move(kernel_name); }
+
+int KernelBuilder::add_param(const std::string& name, bool is_pointer) {
+  kernel_.params.push_back(Param{name, is_pointer});
+  return static_cast<int>(kernel_.params.size()) - 1;
+}
+
+int KernelBuilder::alloc_shared(int bytes) {
+  // Align chunks to 16 bytes like the PTX assembler would.
+  const int aligned = (shared_cursor_ + 15) / 16 * 16;
+  shared_cursor_ = aligned + bytes;
+  kernel_.smem_bytes = shared_cursor_;
+  return aligned;
+}
+
+Operand KernelBuilder::new_reg(Type t) {
+  int* counter = nullptr;
+  switch (t) {
+    case Type::Pred:
+      counter = &kernel_.num_pred;
+      break;
+    case Type::S32:
+      counter = &kernel_.num_s32;
+      break;
+    case Type::U64:
+      counter = &kernel_.num_u64;
+      break;
+    case Type::F16:
+      counter = &kernel_.num_f16;
+      break;
+    case Type::F32:
+      counter = &kernel_.num_f32;
+      break;
+    case Type::F64:
+      counter = &kernel_.num_f64;
+      break;
+  }
+  return Operand::make_reg(t, (*counter)++);
+}
+
+Instruction& KernelBuilder::emit(Instruction inst) {
+  kernel_.body.push_back(std::move(inst));
+  return kernel_.body.back();
+}
+
+Operand KernelBuilder::ld_param(Type t, int param_index, const std::string& comment) {
+  if (param_index < 0 || param_index >= static_cast<int>(kernel_.params.size())) {
+    throw std::out_of_range("ld_param: bad parameter index");
+  }
+  Operand dst = new_reg(t);
+  Instruction inst;
+  inst.op = Opcode::LdParam;
+  inst.type = t;
+  inst.param_index = param_index;
+  inst.dst = {dst};
+  inst.comment = comment;
+  emit(std::move(inst));
+  return dst;
+}
+
+void KernelBuilder::mov(Operand dst, Operand src) {
+  Instruction inst;
+  inst.op = Opcode::Mov;
+  inst.type = dst.type;
+  inst.dst = {dst};
+  inst.src = {src};
+  emit(std::move(inst));
+}
+
+Operand KernelBuilder::mov_imm(Type t, std::int64_t v) {
+  Operand dst = new_reg(t);
+  mov(dst, Operand::make_imm(v, t));
+  return dst;
+}
+
+Operand KernelBuilder::mov_fimm(Type t, double v) {
+  Operand dst = new_reg(t);
+  mov(dst, Operand::make_fimm(v, t));
+  return dst;
+}
+
+Operand KernelBuilder::special(SReg s) {
+  Operand dst = new_reg(Type::S32);
+  mov(dst, Operand::make_sreg(s));
+  return dst;
+}
+
+namespace {
+void check_same_type(const Operand& a, const Operand& b, const char* who) {
+  if (a.type != b.type) throw std::invalid_argument(std::string(who) + ": operand type mismatch");
+}
+}  // namespace
+
+Operand KernelBuilder::add(Operand a, Operand b) {
+  check_same_type(a, b, "add");
+  Operand dst = new_reg(a.type);
+  Instruction inst;
+  inst.op = Opcode::Add;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::sub(Operand a, Operand b) {
+  check_same_type(a, b, "sub");
+  Operand dst = new_reg(a.type);
+  Instruction inst;
+  inst.op = Opcode::Sub;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::mul(Operand a, Operand b) {
+  check_same_type(a, b, "mul");
+  Operand dst = new_reg(a.type);
+  Instruction inst;
+  inst.op = Opcode::Mul;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::div(Operand a, Operand b) {
+  check_same_type(a, b, "div");
+  Operand dst = new_reg(a.type);
+  Instruction inst;
+  inst.op = Opcode::Div;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::rem(Operand a, Operand b) {
+  check_same_type(a, b, "rem");
+  Operand dst = new_reg(a.type);
+  Instruction inst;
+  inst.op = Opcode::Rem;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::min(Operand a, Operand b) {
+  check_same_type(a, b, "min");
+  Operand dst = new_reg(a.type);
+  Instruction inst;
+  inst.op = Opcode::Min;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::mad(Operand a, Operand b, Operand c) {
+  check_same_type(a, b, "mad");
+  check_same_type(a, c, "mad");
+  Operand dst = new_reg(a.type);
+  Instruction inst;
+  inst.op = Opcode::Mad;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b, c};
+  emit(std::move(inst));
+  return dst;
+}
+
+void KernelBuilder::fma(Operand dst, Operand a, Operand b, Operand c) {
+  check_same_type(a, b, "fma");
+  check_same_type(a, c, "fma");
+  check_same_type(a, dst, "fma");
+  Instruction inst;
+  inst.op = Opcode::Fma;
+  inst.type = a.type;
+  inst.dst = {dst};
+  inst.src = {a, b, c};
+  emit(std::move(inst));
+}
+
+Operand KernelBuilder::cvt_u64(Operand s32) {
+  Operand dst = new_reg(Type::U64);
+  Instruction inst;
+  inst.op = Opcode::Cvt;
+  inst.type = Type::U64;
+  inst.aux_type = s32.type;
+  inst.dst = {dst};
+  inst.src = {s32};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::cvt(Type dst_type, Operand src) {
+  Operand dst = new_reg(dst_type);
+  Instruction inst;
+  inst.op = Opcode::Cvt;
+  inst.type = dst_type;
+  inst.aux_type = src.type;
+  inst.dst = {dst};
+  inst.src = {src};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::setp(Cmp cmp, Operand a, Operand b) {
+  check_same_type(a, b, "setp");
+  Operand dst = new_pred();
+  Instruction inst;
+  inst.op = Opcode::Setp;
+  inst.type = a.type;
+  inst.cmp = cmp;
+  inst.dst = {dst};
+  inst.src = {a, b};
+  emit(std::move(inst));
+  return dst;
+}
+
+Operand KernelBuilder::ld_global(Type t, Operand addr, std::int64_t imm_off, int pred,
+                                 bool pred_negate) {
+  Operand dst = new_reg(t);
+  ld_global_into(dst, addr, imm_off, pred, pred_negate);
+  return dst;
+}
+
+void KernelBuilder::ld_global_into(Operand dst, Operand addr, std::int64_t imm_off, int pred,
+                                   bool pred_negate) {
+  if (!dst.is_reg()) throw std::invalid_argument("ld_global_into: dst must be a register");
+  Instruction inst;
+  inst.op = Opcode::LdGlobal;
+  inst.type = dst.type;
+  inst.dst = {dst};
+  inst.src = {addr, Operand::make_imm(imm_off, Type::U64)};
+  inst.pred_reg = pred;
+  inst.pred_negate = pred_negate;
+  emit(std::move(inst));
+}
+
+void KernelBuilder::st_global(Type t, Operand addr, Operand value, std::int64_t imm_off,
+                              int pred, bool pred_negate) {
+  Instruction inst;
+  inst.op = Opcode::StGlobal;
+  inst.type = t;
+  inst.src = {addr, Operand::make_imm(imm_off, Type::U64), value};
+  inst.pred_reg = pred;
+  inst.pred_negate = pred_negate;
+  emit(std::move(inst));
+}
+
+void KernelBuilder::atom_add(Type t, Operand addr, Operand value, std::int64_t imm_off,
+                             int pred, bool pred_negate) {
+  Instruction inst;
+  inst.op = Opcode::AtomAdd;
+  inst.type = t;
+  inst.src = {addr, Operand::make_imm(imm_off, Type::U64), value};
+  inst.pred_reg = pred;
+  inst.pred_negate = pred_negate;
+  emit(std::move(inst));
+}
+
+Operand KernelBuilder::ld_shared(Type t, Operand addr_bytes, std::int64_t imm_off) {
+  Operand dst = new_reg(t);
+  ld_shared_into(dst, addr_bytes, imm_off);
+  return dst;
+}
+
+void KernelBuilder::ld_shared_into(Operand dst, Operand addr_bytes, std::int64_t imm_off,
+                                   int pred, bool pred_negate) {
+  if (!dst.is_reg()) throw std::invalid_argument("ld_shared_into: dst must be a register");
+  Instruction inst;
+  inst.op = Opcode::LdShared;
+  inst.type = dst.type;
+  inst.dst = {dst};
+  inst.src = {addr_bytes, Operand::make_imm(imm_off, Type::S32)};
+  inst.pred_reg = pred;
+  inst.pred_negate = pred_negate;
+  emit(std::move(inst));
+}
+
+void KernelBuilder::st_shared(Type t, Operand addr_bytes, Operand value, std::int64_t imm_off) {
+  Instruction inst;
+  inst.op = Opcode::StShared;
+  inst.type = t;
+  inst.src = {addr_bytes, Operand::make_imm(imm_off, Type::S32), value};
+  emit(std::move(inst));
+}
+
+void KernelBuilder::bar_sync() {
+  Instruction inst;
+  inst.op = Opcode::Bar;
+  emit(std::move(inst));
+}
+
+void KernelBuilder::label(const std::string& name) {
+  Instruction inst;
+  inst.op = Opcode::Label;
+  inst.label = name;
+  emit(std::move(inst));
+}
+
+void KernelBuilder::bra(const std::string& target, int pred, bool pred_negate) {
+  Instruction inst;
+  inst.op = Opcode::Bra;
+  inst.label = target;
+  inst.pred_reg = pred;
+  inst.pred_negate = pred_negate;
+  emit(std::move(inst));
+}
+
+void KernelBuilder::ret() {
+  Instruction inst;
+  inst.op = Opcode::Ret;
+  emit(std::move(inst));
+}
+
+void KernelBuilder::comment(const std::string& text) {
+  if (kernel_.body.empty()) return;
+  kernel_.body.back().comment = text;
+}
+
+void KernelBuilder::predicate_last(Operand pred, bool negate) {
+  if (kernel_.body.empty()) throw std::logic_error("predicate_last: empty body");
+  if (pred.type != Type::Pred || !pred.is_reg()) {
+    throw std::invalid_argument("predicate_last: operand is not a predicate register");
+  }
+  kernel_.body.back().pred_reg = pred.reg;
+  kernel_.body.back().pred_negate = negate;
+}
+
+Kernel KernelBuilder::take() {
+  if (kernel_.body.empty() || kernel_.body.back().op != Opcode::Ret) ret();
+  return std::move(kernel_);
+}
+
+}  // namespace isaac::ptx

@@ -1,0 +1,89 @@
+// KernelBuilder: fluent construction of PTX-like kernels.
+//
+// Allocates virtual registers per class, appends instructions, and tracks the
+// static shared-memory allocation. The GEMM/CONV generators are the only
+// intended clients, but the builder is generic.
+#pragma once
+
+#include <string>
+
+#include "ptx/ir.hpp"
+
+namespace isaac::ptx {
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string kernel_name);
+
+  /// Declare a kernel parameter; returns its index for ld_param.
+  int add_param(const std::string& name, bool is_pointer = true);
+
+  /// Reserve `bytes` of .shared memory; returns the byte offset of the chunk.
+  int alloc_shared(int bytes);
+
+  // ---- register allocation ----
+  Operand new_reg(Type t);
+  Operand new_pred() { return new_reg(Type::Pred); }
+
+  // ---- instruction emission (returns dst where meaningful) ----
+  Operand ld_param(Type t, int param_index, const std::string& comment = "");
+  void mov(Operand dst, Operand src);
+  Operand mov_imm(Type t, std::int64_t v);
+  Operand mov_fimm(Type t, double v);
+  Operand special(SReg s);  // mov.s32 %r, %tid.x etc.
+
+  Operand add(Operand a, Operand b);
+  Operand sub(Operand a, Operand b);
+  Operand mul(Operand a, Operand b);
+  Operand div(Operand a, Operand b);
+  Operand rem(Operand a, Operand b);
+  Operand min(Operand a, Operand b);
+  /// d = a * b + c (integer mad.lo)
+  Operand mad(Operand a, Operand b, Operand c);
+  /// d = fma(a, b, c) with d == c allowed (accumulate in place).
+  void fma(Operand dst, Operand a, Operand b, Operand c);
+
+  /// Widen s32 -> u64 (cvt.u64.s32).
+  Operand cvt_u64(Operand s32);
+  /// Convert between float types (cvt.f32.f64 etc.).
+  Operand cvt(Type dst_type, Operand src);
+
+  Operand setp(Cmp cmp, Operand a, Operand b);
+
+  /// addr (u64) + imm byte offset.
+  Operand ld_global(Type t, Operand addr, std::int64_t imm_off = 0, int pred = -1,
+                    bool pred_negate = false);
+  /// Predicated load into an existing register: predicated-off threads keep
+  /// the register's prior value (pre-zero it for the §8.3 idiom).
+  void ld_global_into(Operand dst, Operand addr, std::int64_t imm_off = 0, int pred = -1,
+                      bool pred_negate = false);
+  void st_global(Type t, Operand addr, Operand value, std::int64_t imm_off = 0, int pred = -1,
+                 bool pred_negate = false);
+  void atom_add(Type t, Operand addr, Operand value, std::int64_t imm_off = 0, int pred = -1,
+                bool pred_negate = false);
+  /// Shared memory is addressed by s32 byte offsets.
+  Operand ld_shared(Type t, Operand addr_bytes, std::int64_t imm_off = 0);
+  void ld_shared_into(Operand dst, Operand addr_bytes, std::int64_t imm_off = 0, int pred = -1,
+                      bool pred_negate = false);
+  void st_shared(Type t, Operand addr_bytes, Operand value, std::int64_t imm_off = 0);
+
+  void bar_sync();
+  void label(const std::string& name);
+  /// Unconditional or predicated (uniform!) branch to a label.
+  void bra(const std::string& target, int pred = -1, bool pred_negate = false);
+  void ret();
+  void comment(const std::string& text);
+
+  /// Apply a guard predicate to the most recently emitted instruction.
+  void predicate_last(Operand pred, bool negate = false);
+
+  Kernel take();  // finalize (appends ret if missing) and move out
+
+ private:
+  Instruction& emit(Instruction inst);
+
+  Kernel kernel_;
+  int shared_cursor_ = 0;
+};
+
+}  // namespace isaac::ptx

@@ -1,0 +1,18 @@
+// Text emission: render a Module as PTX-like assembly.
+//
+// The output mirrors real PTX closely enough to be read with PTX eyes
+// (directives, register declarations, predication syntax), which makes the
+// generated kernels inspectable artifacts — the reproduction's analogue of
+// the paper's "relatively low-level intermediate language" claim.
+#pragma once
+
+#include <string>
+
+#include "ptx/ir.hpp"
+
+namespace isaac::ptx {
+
+std::string emit(const Kernel& kernel);
+std::string emit(const Module& module);
+
+}  // namespace isaac::ptx

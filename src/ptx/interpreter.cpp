@@ -1,0 +1,639 @@
+#include "ptx/interpreter.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+
+namespace isaac::ptx {
+
+// ------------------------------------------------------------ GlobalMemory --
+
+std::uint64_t GlobalMemory::alloc(std::size_t bytes) {
+  const std::size_t base = (bytes_.size() + 15) / 16 * 16;
+  bytes_.resize(base + bytes, 0);
+  return base;
+}
+
+void GlobalMemory::check(std::uint64_t addr, std::size_t n) const {
+  if (addr + n > bytes_.size()) {
+    throw std::out_of_range(strings::format(
+        "global memory access at %llu+%zu outside %zu-byte space",
+        static_cast<unsigned long long>(addr), n, bytes_.size()));
+  }
+}
+
+float GlobalMemory::load_f32(std::uint64_t addr) const {
+  check(addr, 4);
+  float v;
+  std::memcpy(&v, bytes_.data() + addr, 4);
+  return v;
+}
+
+void GlobalMemory::store_f32(std::uint64_t addr, float v) {
+  check(addr, 4);
+  std::memcpy(bytes_.data() + addr, &v, 4);
+}
+
+double GlobalMemory::load_f64(std::uint64_t addr) const {
+  check(addr, 8);
+  double v;
+  std::memcpy(&v, bytes_.data() + addr, 8);
+  return v;
+}
+
+void GlobalMemory::store_f64(std::uint64_t addr, double v) {
+  check(addr, 8);
+  std::memcpy(bytes_.data() + addr, &v, 8);
+}
+
+std::int32_t GlobalMemory::load_s32(std::uint64_t addr) const {
+  check(addr, 4);
+  std::int32_t v;
+  std::memcpy(&v, bytes_.data() + addr, 4);
+  return v;
+}
+
+void GlobalMemory::store_s32(std::uint64_t addr, std::int32_t v) {
+  check(addr, 4);
+  std::memcpy(bytes_.data() + addr, &v, 4);
+}
+
+void GlobalMemory::write_f32(std::uint64_t addr, const std::vector<float>& data) {
+  check(addr, data.size() * 4);
+  std::memcpy(bytes_.data() + addr, data.data(), data.size() * 4);
+}
+
+std::vector<float> GlobalMemory::read_f32(std::uint64_t addr, std::size_t count) const {
+  check(addr, count * 4);
+  std::vector<float> out(count);
+  std::memcpy(out.data(), bytes_.data() + addr, count * 4);
+  return out;
+}
+
+void GlobalMemory::write_f64(std::uint64_t addr, const std::vector<double>& data) {
+  check(addr, data.size() * 8);
+  std::memcpy(bytes_.data() + addr, data.data(), data.size() * 8);
+}
+
+std::vector<double> GlobalMemory::read_f64(std::uint64_t addr, std::size_t count) const {
+  check(addr, count * 8);
+  std::vector<double> out(count);
+  std::memcpy(out.data(), bytes_.data() + addr, count * 8);
+  return out;
+}
+
+void GlobalMemory::write_s32(std::uint64_t addr, const std::vector<std::int32_t>& data) {
+  check(addr, data.size() * 4);
+  std::memcpy(bytes_.data() + addr, data.data(), data.size() * 4);
+}
+
+// -------------------------------------------------------------- interpreter --
+
+namespace {
+
+/// Per-thread register file. Values stored as raw 64-bit with the type known
+/// from the instruction stream (PTX registers are typed by class).
+struct RegFile {
+  std::vector<std::uint8_t> pred;
+  std::vector<std::int32_t> s32;
+  std::vector<std::uint64_t> u64;
+  std::vector<float> f16;  // f16 modelled at f32 storage precision
+  std::vector<float> f32;
+  std::vector<double> f64;
+};
+
+struct ThreadCtx {
+  int tid_x = 0, tid_y = 0;
+  RegFile regs;
+  bool exited = false;
+};
+
+struct BlockCtx {
+  int ctaid_x = 0, ctaid_y = 0, ctaid_z = 0;
+  std::vector<std::uint8_t> smem;
+  std::vector<ThreadCtx> threads;
+};
+
+double read_value(const ThreadCtx& t, const BlockCtx& b, const LaunchDims& dims,
+                  const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::Imm:
+      if (op.type == Type::F16 || op.type == Type::F32 || op.type == Type::F64) return op.fimm;
+      return static_cast<double>(op.imm);
+    case Operand::Kind::Special:
+      switch (op.sreg) {
+        case SReg::TidX:
+          return t.tid_x;
+        case SReg::TidY:
+          return t.tid_y;
+        case SReg::CtaIdX:
+          return b.ctaid_x;
+        case SReg::CtaIdY:
+          return b.ctaid_y;
+        case SReg::CtaIdZ:
+          return b.ctaid_z;
+        case SReg::NTidX:
+          return dims.block_x;
+        case SReg::NTidY:
+          return dims.block_y;
+      }
+      return 0;
+    case Operand::Kind::Reg:
+      switch (op.type) {
+        case Type::Pred:
+          return t.regs.pred[op.reg];
+        case Type::S32:
+          return t.regs.s32[op.reg];
+        case Type::U64:
+          return static_cast<double>(t.regs.u64[op.reg]);
+        case Type::F16:
+          return t.regs.f16[op.reg];
+        case Type::F32:
+          return t.regs.f32[op.reg];
+        case Type::F64:
+          return t.regs.f64[op.reg];
+      }
+      return 0;
+    default:
+      throw std::logic_error("read_value: empty operand");
+  }
+}
+
+/// u64 reads must not round-trip through double (pointer precision).
+std::uint64_t read_u64(const ThreadCtx& t, const Operand& op) {
+  if (op.kind == Operand::Kind::Imm) return static_cast<std::uint64_t>(op.imm);
+  if (op.kind == Operand::Kind::Reg && op.type == Type::U64) return t.regs.u64[op.reg];
+  throw std::logic_error("read_u64: operand is not u64");
+}
+
+std::int64_t read_int(const ThreadCtx& t, const BlockCtx& b, const LaunchDims& dims,
+                      const Operand& op) {
+  if (op.kind == Operand::Kind::Reg && op.type == Type::U64) {
+    return static_cast<std::int64_t>(t.regs.u64[op.reg]);
+  }
+  return static_cast<std::int64_t>(read_value(t, b, dims, op));
+}
+
+void write_reg(ThreadCtx& t, const Operand& dst, double v) {
+  switch (dst.type) {
+    case Type::Pred:
+      t.regs.pred[dst.reg] = v != 0.0 ? 1 : 0;
+      break;
+    case Type::S32:
+      t.regs.s32[dst.reg] = static_cast<std::int32_t>(v);
+      break;
+    case Type::U64:
+      t.regs.u64[dst.reg] = static_cast<std::uint64_t>(v);
+      break;
+    case Type::F16:
+      t.regs.f16[dst.reg] = static_cast<float>(v);
+      break;
+    case Type::F32:
+      t.regs.f32[dst.reg] = static_cast<float>(v);
+      break;
+    case Type::F64:
+      t.regs.f64[dst.reg] = v;
+      break;
+  }
+}
+
+void write_u64(ThreadCtx& t, const Operand& dst, std::uint64_t v) {
+  if (dst.type != Type::U64) throw std::logic_error("write_u64: dst not u64");
+  t.regs.u64[dst.reg] = v;
+}
+
+bool pred_active(const ThreadCtx& t, const Instruction& inst) {
+  if (!inst.has_pred()) return true;
+  const bool p = t.regs.pred[inst.pred_reg] != 0;
+  return inst.pred_negate ? !p : p;
+}
+
+float load_smem_f32(const BlockCtx& b, std::int64_t off) {
+  if (off < 0 || off + 4 > static_cast<std::int64_t>(b.smem.size())) {
+    throw std::out_of_range(strings::format("shared load at %lld outside %zu bytes",
+                                            static_cast<long long>(off), b.smem.size()));
+  }
+  float v;
+  std::memcpy(&v, b.smem.data() + off, 4);
+  return v;
+}
+
+double load_smem_f64(const BlockCtx& b, std::int64_t off) {
+  if (off < 0 || off + 8 > static_cast<std::int64_t>(b.smem.size())) {
+    throw std::out_of_range("shared f64 load out of bounds");
+  }
+  double v;
+  std::memcpy(&v, b.smem.data() + off, 8);
+  return v;
+}
+
+void store_smem(BlockCtx& b, std::int64_t off, const void* src, std::size_t n) {
+  if (off < 0 || off + static_cast<std::int64_t>(n) > static_cast<std::int64_t>(b.smem.size())) {
+    throw std::out_of_range(strings::format("shared store at %lld outside %zu bytes",
+                                            static_cast<long long>(off), b.smem.size()));
+  }
+  std::memcpy(b.smem.data() + off, src, n);
+}
+
+struct LocalStats {
+  std::uint64_t insts = 0, fma = 0, gld = 0, gst = 0, sh = 0, bar = 0;
+};
+
+/// Execute one block to completion (lockstep). Throws on semantic errors.
+void run_block(const Kernel& k, const LaunchDims& dims,
+               const std::vector<std::uint64_t>& params,
+               const std::map<std::string, std::size_t>& labels, GlobalMemory& mem,
+               std::mutex& mem_mutex, BlockCtx& block, std::uint64_t max_insts,
+               LocalStats& stats) {
+  std::size_t pc = 0;
+  const std::size_t body_size = k.body.size();
+
+  while (pc < body_size) {
+    const Instruction& inst = k.body[pc];
+
+    if (stats.insts > max_insts) {
+      throw std::runtime_error("dynamic instruction budget exceeded (runaway loop?)");
+    }
+
+    switch (inst.op) {
+      case Opcode::Label:
+        ++pc;
+        continue;
+      case Opcode::Ret:
+        return;
+      case Opcode::Bar:
+        // Lockstep execution: all threads are here together by construction.
+        stats.bar += 1;
+        ++pc;
+        continue;
+      case Opcode::Bra: {
+        // Uniformity check over active threads.
+        int taken = -1;
+        for (const ThreadCtx& t : block.threads) {
+          const bool a = pred_active(t, inst);
+          if (taken == -1) {
+            taken = a ? 1 : 0;
+          } else if (taken != (a ? 1 : 0)) {
+            throw std::runtime_error("non-uniform branch at '" + inst.label + "'");
+          }
+        }
+        if (taken == 1) {
+          auto it = labels.find(inst.label);
+          if (it == labels.end()) throw std::runtime_error("undefined label " + inst.label);
+          pc = it->second;
+        } else {
+          ++pc;
+        }
+        stats.insts += block.threads.size();
+        continue;
+      }
+      default:
+        break;
+    }
+
+    // Per-thread SIMT execution of a non-control instruction.
+    for (ThreadCtx& t : block.threads) {
+      if (!pred_active(t, inst)) continue;
+      stats.insts += 1;
+
+      switch (inst.op) {
+        case Opcode::LdParam:
+          write_u64(t, inst.dst[0], params[inst.param_index]);
+          break;
+        case Opcode::Mov:
+          if (inst.dst[0].type == Type::U64) {
+            write_u64(t, inst.dst[0],
+                      static_cast<std::uint64_t>(read_int(t, block, dims, inst.src[0])));
+          } else {
+            write_reg(t, inst.dst[0], read_value(t, block, dims, inst.src[0]));
+          }
+          break;
+        case Opcode::Cvt:
+          if (inst.type == Type::U64) {
+            write_u64(t, inst.dst[0],
+                      static_cast<std::uint64_t>(read_int(t, block, dims, inst.src[0])));
+          } else {
+            write_reg(t, inst.dst[0], read_value(t, block, dims, inst.src[0]));
+          }
+          break;
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::Mul:
+        case Opcode::Div:
+        case Opcode::Rem:
+        case Opcode::Min: {
+          if (inst.type == Type::U64) {
+            const std::uint64_t a = read_u64(t, inst.src[0]);
+            const std::uint64_t b =
+                inst.src[1].kind == Operand::Kind::Imm && inst.src[1].type != Type::U64
+                    ? static_cast<std::uint64_t>(inst.src[1].imm)
+                    : read_u64(t, inst.src[1]);
+            std::uint64_t r = 0;
+            switch (inst.op) {
+              case Opcode::Add:
+                r = a + b;
+                break;
+              case Opcode::Sub:
+                r = a - b;
+                break;
+              case Opcode::Mul:
+                r = a * b;
+                break;
+              case Opcode::Div:
+                r = b ? a / b : 0;
+                break;
+              case Opcode::Rem:
+                r = b ? a % b : 0;
+                break;
+              case Opcode::Min:
+                r = a < b ? a : b;
+                break;
+              default:
+                break;
+            }
+            write_u64(t, inst.dst[0], r);
+          } else if (inst.type == Type::S32) {
+            const auto a = static_cast<std::int32_t>(read_value(t, block, dims, inst.src[0]));
+            const auto b = static_cast<std::int32_t>(read_value(t, block, dims, inst.src[1]));
+            std::int32_t r = 0;
+            switch (inst.op) {
+              case Opcode::Add:
+                r = a + b;
+                break;
+              case Opcode::Sub:
+                r = a - b;
+                break;
+              case Opcode::Mul:
+                r = a * b;
+                break;
+              case Opcode::Div:
+                if (b == 0) throw std::runtime_error("s32 division by zero");
+                r = a / b;
+                break;
+              case Opcode::Rem:
+                if (b == 0) throw std::runtime_error("s32 remainder by zero");
+                r = a % b;
+                break;
+              case Opcode::Min:
+                r = a < b ? a : b;
+                break;
+              default:
+                break;
+            }
+            write_reg(t, inst.dst[0], r);
+          } else {
+            const double a = read_value(t, block, dims, inst.src[0]);
+            const double b = read_value(t, block, dims, inst.src[1]);
+            double r = 0;
+            switch (inst.op) {
+              case Opcode::Add:
+                r = a + b;
+                break;
+              case Opcode::Sub:
+                r = a - b;
+                break;
+              case Opcode::Mul:
+                r = a * b;
+                break;
+              case Opcode::Div:
+                r = a / b;
+                break;
+              case Opcode::Rem:
+                r = std::fmod(a, b);
+                break;
+              case Opcode::Min:
+                r = std::min(a, b);
+                break;
+              default:
+                break;
+            }
+            write_reg(t, inst.dst[0], r);
+          }
+          break;
+        }
+        case Opcode::Mad: {
+          const auto a = read_int(t, block, dims, inst.src[0]);
+          const auto b = read_int(t, block, dims, inst.src[1]);
+          const auto c = read_int(t, block, dims, inst.src[2]);
+          if (inst.type == Type::U64) {
+            write_u64(t, inst.dst[0], static_cast<std::uint64_t>(a * b + c));
+          } else {
+            write_reg(t, inst.dst[0], static_cast<std::int32_t>(a * b + c));
+          }
+          break;
+        }
+        case Opcode::Fma: {
+          stats.fma += 1;
+          if (inst.type == Type::F64) {
+            const double a = read_value(t, block, dims, inst.src[0]);
+            const double b = read_value(t, block, dims, inst.src[1]);
+            const double c = read_value(t, block, dims, inst.src[2]);
+            write_reg(t, inst.dst[0], std::fma(a, b, c));
+          } else {
+            const float a = static_cast<float>(read_value(t, block, dims, inst.src[0]));
+            const float b = static_cast<float>(read_value(t, block, dims, inst.src[1]));
+            const float c = static_cast<float>(read_value(t, block, dims, inst.src[2]));
+            write_reg(t, inst.dst[0], std::fma(a, b, c));
+          }
+          break;
+        }
+        case Opcode::Setp: {
+          const double a = read_value(t, block, dims, inst.src[0]);
+          const double b = read_value(t, block, dims, inst.src[1]);
+          bool r = false;
+          switch (inst.cmp) {
+            case Cmp::Lt:
+              r = a < b;
+              break;
+            case Cmp::Le:
+              r = a <= b;
+              break;
+            case Cmp::Gt:
+              r = a > b;
+              break;
+            case Cmp::Ge:
+              r = a >= b;
+              break;
+            case Cmp::Eq:
+              r = a == b;
+              break;
+            case Cmp::Ne:
+              r = a != b;
+              break;
+          }
+          t.regs.pred[inst.dst[0].reg] = r ? 1 : 0;
+          break;
+        }
+        case Opcode::LdGlobal: {
+          stats.gld += 1;
+          const std::uint64_t addr = read_u64(t, inst.src[0]) +
+                                     static_cast<std::uint64_t>(inst.src[1].imm);
+          std::lock_guard<std::mutex> lock(mem_mutex);
+          switch (inst.type) {
+            case Type::F64:
+              write_reg(t, inst.dst[0], mem.load_f64(addr));
+              break;
+            case Type::S32:
+              write_reg(t, inst.dst[0], mem.load_s32(addr));
+              break;
+            default:
+              write_reg(t, inst.dst[0], mem.load_f32(addr));
+              break;
+          }
+          break;
+        }
+        case Opcode::StGlobal: {
+          stats.gst += 1;
+          const std::uint64_t addr = read_u64(t, inst.src[0]) +
+                                     static_cast<std::uint64_t>(inst.src[1].imm);
+          const double v = read_value(t, block, dims, inst.src[2]);
+          std::lock_guard<std::mutex> lock(mem_mutex);
+          switch (inst.type) {
+            case Type::F64:
+              mem.store_f64(addr, v);
+              break;
+            case Type::S32:
+              mem.store_s32(addr, static_cast<std::int32_t>(v));
+              break;
+            default:
+              mem.store_f32(addr, static_cast<float>(v));
+              break;
+          }
+          break;
+        }
+        case Opcode::AtomAdd: {
+          stats.gst += 1;
+          const std::uint64_t addr = read_u64(t, inst.src[0]) +
+                                     static_cast<std::uint64_t>(inst.src[1].imm);
+          const double v = read_value(t, block, dims, inst.src[2]);
+          std::lock_guard<std::mutex> lock(mem_mutex);
+          if (inst.type == Type::F64) {
+            mem.store_f64(addr, mem.load_f64(addr) + v);
+          } else {
+            mem.store_f32(addr, mem.load_f32(addr) + static_cast<float>(v));
+          }
+          break;
+        }
+        case Opcode::LdShared: {
+          stats.sh += 1;
+          const std::int64_t off =
+              read_int(t, block, dims, inst.src[0]) + inst.src[1].imm;
+          if (inst.type == Type::F64) {
+            write_reg(t, inst.dst[0], load_smem_f64(block, off));
+          } else {
+            write_reg(t, inst.dst[0], load_smem_f32(block, off));
+          }
+          break;
+        }
+        case Opcode::StShared: {
+          stats.sh += 1;
+          const std::int64_t off =
+              read_int(t, block, dims, inst.src[0]) + inst.src[1].imm;
+          if (inst.type == Type::F64) {
+            const double v = read_value(t, block, dims, inst.src[2]);
+            store_smem(block, off, &v, 8);
+          } else {
+            const float v = static_cast<float>(read_value(t, block, dims, inst.src[2]));
+            store_smem(block, off, &v, 4);
+          }
+          break;
+        }
+        default:
+          throw std::logic_error(std::string("unhandled opcode ") + opcode_name(inst.op));
+      }
+    }
+    ++pc;
+  }
+}
+
+}  // namespace
+
+InterpResult run(const Kernel& kernel, const LaunchDims& dims,
+                 const std::vector<std::uint64_t>& param_values, GlobalMemory& memory,
+                 std::uint64_t max_dynamic_insts) {
+  InterpResult out;
+  if (param_values.size() != kernel.params.size()) {
+    out.error = strings::format("expected %zu params, got %zu", kernel.params.size(),
+                                param_values.size());
+    return out;
+  }
+
+  std::map<std::string, std::size_t> labels;
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    if (kernel.body[i].op == Opcode::Label) labels[kernel.body[i].label] = i;
+  }
+
+  std::mutex mem_mutex;
+  std::mutex err_mutex;
+  std::string first_error;
+  std::atomic<std::uint64_t> insts{0}, fma{0}, gld{0}, gst{0}, sh{0}, bar{0};
+
+  const std::int64_t nblocks = dims.total_blocks();
+  const std::uint64_t per_block_budget =
+      max_dynamic_insts / std::max<std::uint64_t>(1, static_cast<std::uint64_t>(nblocks));
+
+  ThreadPool::global().parallel_for_each(static_cast<std::size_t>(nblocks), [&](std::size_t bi) {
+    {
+      std::lock_guard<std::mutex> lock(err_mutex);
+      if (!first_error.empty()) return;  // fail fast
+    }
+    BlockCtx block;
+    const int gx = dims.grid_x, gy = dims.grid_y;
+    block.ctaid_x = static_cast<int>(bi % gx);
+    block.ctaid_y = static_cast<int>((bi / gx) % gy);
+    block.ctaid_z = static_cast<int>(bi / (static_cast<std::size_t>(gx) * gy));
+    block.smem.assign(static_cast<std::size_t>(kernel.smem_bytes), 0);
+    block.threads.resize(static_cast<std::size_t>(dims.threads_per_block()));
+    for (int ty = 0; ty < dims.block_y; ++ty) {
+      for (int tx = 0; tx < dims.block_x; ++tx) {
+        ThreadCtx& t = block.threads[static_cast<std::size_t>(ty) * dims.block_x + tx];
+        t.tid_x = tx;
+        t.tid_y = ty;
+        t.regs.pred.assign(static_cast<std::size_t>(kernel.num_pred), 0);
+        t.regs.s32.assign(static_cast<std::size_t>(kernel.num_s32), 0);
+        t.regs.u64.assign(static_cast<std::size_t>(kernel.num_u64), 0);
+        t.regs.f16.assign(static_cast<std::size_t>(kernel.num_f16), 0.0f);
+        t.regs.f32.assign(static_cast<std::size_t>(kernel.num_f32), 0.0f);
+        t.regs.f64.assign(static_cast<std::size_t>(kernel.num_f64), 0.0);
+      }
+    }
+    LocalStats stats;
+    try {
+      run_block(kernel, dims, param_values, labels, memory, mem_mutex, block,
+                per_block_budget, stats);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(err_mutex);
+      if (first_error.empty()) {
+        first_error = strings::format("block (%d,%d,%d): %s", block.ctaid_x, block.ctaid_y,
+                                      block.ctaid_z, e.what());
+      }
+    }
+    insts += stats.insts;
+    fma += stats.fma;
+    gld += stats.gld;
+    gst += stats.gst;
+    sh += stats.sh;
+    bar += stats.bar;
+  });
+
+  if (!first_error.empty()) {
+    out.error = first_error;
+    return out;
+  }
+  out.ok = true;
+  out.stats.instructions_executed = insts;
+  out.stats.fma_executed = fma;
+  out.stats.global_loads = gld;
+  out.stats.global_stores = gst;
+  out.stats.shared_accesses = sh;
+  out.stats.barriers = bar;
+  return out;
+}
+
+}  // namespace isaac::ptx

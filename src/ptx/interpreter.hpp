@@ -1,0 +1,83 @@
+// Functional interpreter for PTX-like kernels.
+//
+// Executes a kernel over a (grid, block) launch exactly as SIMT hardware
+// would observe it: all threads of a block advance in lockstep one
+// instruction at a time, predicated threads skip, barriers are block-wide
+// no-ops under lockstep, and branches must be uniform across the block's
+// active threads (checked; non-uniform branches abort with an error).
+//
+// The interpreter exists for *semantic* cross-validation: on tiny problems it
+// proves that the generated PTX computes the same result as the functional
+// executors and the naive reference. It is not a timing model — timing comes
+// from gpusim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptx/ir.hpp"
+
+namespace isaac::ptx {
+
+/// Flat global memory. Buffers are allocated sequentially; kernel pointer
+/// parameters are byte offsets into this space (passed as u64 values).
+class GlobalMemory {
+ public:
+  /// Allocate `bytes` and return its base address. 16-byte aligned.
+  std::uint64_t alloc(std::size_t bytes);
+
+  /// Typed accessors (bounds-checked).
+  float load_f32(std::uint64_t addr) const;
+  void store_f32(std::uint64_t addr, float v);
+  double load_f64(std::uint64_t addr) const;
+  void store_f64(std::uint64_t addr, double v);
+  std::int32_t load_s32(std::uint64_t addr) const;
+  void store_s32(std::uint64_t addr, std::int32_t v);
+
+  /// Bulk helpers for setting up test problems.
+  void write_f32(std::uint64_t addr, const std::vector<float>& data);
+  std::vector<float> read_f32(std::uint64_t addr, std::size_t count) const;
+  void write_f64(std::uint64_t addr, const std::vector<double>& data);
+  std::vector<double> read_f64(std::uint64_t addr, std::size_t count) const;
+  void write_s32(std::uint64_t addr, const std::vector<std::int32_t>& data);
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  void check(std::uint64_t addr, std::size_t n) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+struct LaunchDims {
+  int grid_x = 1, grid_y = 1, grid_z = 1;
+  int block_x = 1, block_y = 1;
+  std::int64_t total_blocks() const noexcept {
+    return static_cast<std::int64_t>(grid_x) * grid_y * grid_z;
+  }
+  int threads_per_block() const noexcept { return block_x * block_y; }
+};
+
+struct InterpStats {
+  std::uint64_t instructions_executed = 0;  // dynamic, summed over threads
+  std::uint64_t fma_executed = 0;
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t barriers = 0;
+};
+
+struct InterpResult {
+  bool ok = false;
+  std::string error;
+  InterpStats stats;
+};
+
+/// Execute `kernel` with the given pointer/scalar parameters (all u64).
+/// Blocks run in parallel on the global thread pool; threads within a block
+/// run in lockstep. `max_dynamic_insts` guards against runaway loops.
+InterpResult run(const Kernel& kernel, const LaunchDims& dims,
+                 const std::vector<std::uint64_t>& param_values, GlobalMemory& memory,
+                 std::uint64_t max_dynamic_insts = 1ull << 32);
+
+}  // namespace isaac::ptx

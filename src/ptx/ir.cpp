@@ -1,0 +1,182 @@
+#include "ptx/ir.hpp"
+
+#include "common/strings.hpp"
+
+namespace isaac::ptx {
+
+const char* type_suffix(Type t) noexcept {
+  switch (t) {
+    case Type::Pred:
+      return ".pred";
+    case Type::S32:
+      return ".s32";
+    case Type::U64:
+      return ".u64";
+    case Type::F16:
+      return ".f16";
+    case Type::F32:
+      return ".f32";
+    case Type::F64:
+      return ".f64";
+  }
+  return ".?";
+}
+
+std::size_t type_bytes(Type t) noexcept {
+  switch (t) {
+    case Type::Pred:
+      return 1;
+    case Type::S32:
+      return 4;
+    case Type::U64:
+      return 8;
+    case Type::F16:
+      return 2;
+    case Type::F32:
+      return 4;
+    case Type::F64:
+      return 8;
+  }
+  return 4;
+}
+
+const char* reg_prefix(Type t) noexcept {
+  switch (t) {
+    case Type::Pred:
+      return "%p";
+    case Type::S32:
+      return "%r";
+    case Type::U64:
+      return "%rd";
+    case Type::F16:
+      return "%h";
+    case Type::F32:
+      return "%f";
+    case Type::F64:
+      return "%d";
+  }
+  return "%?";
+}
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Mov:
+      return "mov";
+    case Opcode::Cvt:
+      return "cvt";
+    case Opcode::LdParam:
+      return "ld.param";
+    case Opcode::LdGlobal:
+      return "ld.global";
+    case Opcode::StGlobal:
+      return "st.global";
+    case Opcode::LdShared:
+      return "ld.shared";
+    case Opcode::StShared:
+      return "st.shared";
+    case Opcode::AtomAdd:
+      return "atom.global.add";
+    case Opcode::Add:
+      return "add";
+    case Opcode::Sub:
+      return "sub";
+    case Opcode::Mul:
+      return "mul";
+    case Opcode::Div:
+      return "div";
+    case Opcode::Rem:
+      return "rem";
+    case Opcode::Min:
+      return "min";
+    case Opcode::Mad:
+      return "mad.lo";
+    case Opcode::Fma:
+      return "fma.rn";
+    case Opcode::Setp:
+      return "setp";
+    case Opcode::Bra:
+      return "bra";
+    case Opcode::Bar:
+      return "bar.sync";
+    case Opcode::Ret:
+      return "ret";
+    case Opcode::Label:
+      return "<label>";
+  }
+  return "?";
+}
+
+const char* cmp_name(Cmp c) noexcept {
+  switch (c) {
+    case Cmp::Lt:
+      return "lt";
+    case Cmp::Le:
+      return "le";
+    case Cmp::Gt:
+      return "gt";
+    case Cmp::Ge:
+      return "ge";
+    case Cmp::Eq:
+      return "eq";
+    case Cmp::Ne:
+      return "ne";
+  }
+  return "?";
+}
+
+const char* sreg_name(SReg s) noexcept {
+  switch (s) {
+    case SReg::TidX:
+      return "%tid.x";
+    case SReg::TidY:
+      return "%tid.y";
+    case SReg::CtaIdX:
+      return "%ctaid.x";
+    case SReg::CtaIdY:
+      return "%ctaid.y";
+    case SReg::CtaIdZ:
+      return "%ctaid.z";
+    case SReg::NTidX:
+      return "%ntid.x";
+    case SReg::NTidY:
+      return "%ntid.y";
+  }
+  return "%?";
+}
+
+std::string Operand::to_string() const {
+  switch (kind) {
+    case Kind::None:
+      return "<none>";
+    case Kind::Reg:
+      return strings::format("%s%d", reg_prefix(type), reg);
+    case Kind::Imm:
+      if (type == Type::F16 || type == Type::F32 || type == Type::F64) {
+        return strings::format("%g", fimm);
+      }
+      return std::to_string(imm);
+    case Kind::Special:
+      return sreg_name(sreg);
+  }
+  return "<?>";
+}
+
+int Kernel::reg_count(Type t) const noexcept {
+  switch (t) {
+    case Type::Pred:
+      return num_pred;
+    case Type::S32:
+      return num_s32;
+    case Type::U64:
+      return num_u64;
+    case Type::F16:
+      return num_f16;
+    case Type::F32:
+      return num_f32;
+    case Type::F64:
+      return num_f64;
+  }
+  return 0;
+}
+
+}  // namespace isaac::ptx

@@ -1,0 +1,175 @@
+// PTX-like intermediate representation.
+//
+// The paper's §3/§8.3 argument for targeting PTX instead of CUDA-C is that
+// (1) instruction selection is predictable, so static performance models stay
+// accurate, and (2) predication makes bounds checking nearly free. This IR
+// captures the PTX subset ISAAC's generators need: typed virtual registers,
+// straight-line predicated instructions, uniform backward branches for the
+// K-loop, shared memory, barriers, and global atomics.
+//
+// Control flow is deliberately restricted: branches must be *block-uniform*
+// (every active thread takes the same direction), which the interpreter
+// checks at runtime and the verifier encourages structurally. ISAAC's kernels
+// are fully unrolled except for the reduction loop, so this restriction costs
+// nothing and keeps lockstep execution exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isaac::ptx {
+
+/// Scalar types, in PTX spelling.
+enum class Type {
+  Pred,  // .pred
+  S32,   // .s32
+  U64,   // .u64
+  F16,   // .f16 (stored as f32 in the interpreter; see DESIGN.md)
+  F32,   // .f32
+  F64,   // .f64
+};
+
+const char* type_suffix(Type t) noexcept;       // ".s32" etc.
+std::size_t type_bytes(Type t) noexcept;        // memory footprint
+
+/// Register classes follow PTX conventions: %p for predicates, %r for s32,
+/// %rd for u64, %h for f16, %f for f32, %d for f64.
+const char* reg_prefix(Type t) noexcept;
+
+enum class Opcode {
+  // data movement
+  Mov,       // mov.<t> d, a
+  Cvt,       // cvt.<dst_t>.<src_t> d, a  (type field = dst, aux_type = src)
+  LdParam,   // ld.param.<t> d, [param_index]
+  LdGlobal,  // ld.global.<t> d, [addr + imm]
+  StGlobal,  // st.global.<t> [addr + imm], a
+  LdShared,  // ld.shared.<t> d, [addr_s32 + imm]
+  StShared,  // st.shared.<t> [addr_s32 + imm], a
+  AtomAdd,   // atom.global.add.<t> [addr + imm], a
+
+  // arithmetic
+  Add,       // add.<t> d, a, b
+  Sub,       // sub.<t> d, a, b
+  Mul,       // mul(.lo).<t> d, a, b
+  Div,       // div.<t> d, a, b
+  Rem,       // rem.<t> d, a, b
+  Min,       // min.<t> d, a, b
+  Mad,       // mad.lo.<t> d, a, b, c     (integer multiply-add)
+  Fma,       // fma.rn.<t> d, a, b, c     (floating multiply-accumulate)
+
+  // predicates & control
+  Setp,      // setp.<cmp>.<t> p, a, b
+  Bra,       // @p bra LABEL  (uniform)
+  Bar,       // bar.sync 0
+  Ret,       // ret
+
+  // structural pseudo-op
+  Label,     // LABEL:
+};
+
+const char* opcode_name(Opcode op) noexcept;
+
+enum class Cmp { Lt, Le, Gt, Ge, Eq, Ne };
+const char* cmp_name(Cmp c) noexcept;
+
+/// Special (read-only) hardware registers.
+enum class SReg { TidX, TidY, CtaIdX, CtaIdY, CtaIdZ, NTidX, NTidY };
+const char* sreg_name(SReg s) noexcept;
+
+/// Operand: virtual register, immediate, or special register.
+struct Operand {
+  enum class Kind { None, Reg, Imm, Special };
+  Kind kind = Kind::None;
+  Type type = Type::S32;
+  int reg = -1;          // virtual register index within its class
+  std::int64_t imm = 0;  // integer immediate (also carries f32 bits for fp imm)
+  double fimm = 0.0;     // floating immediate
+  SReg sreg = SReg::TidX;
+
+  static Operand none() { return {}; }
+  static Operand make_reg(Type t, int index) {
+    Operand o;
+    o.kind = Kind::Reg;
+    o.type = t;
+    o.reg = index;
+    return o;
+  }
+  static Operand make_imm(std::int64_t v, Type t = Type::S32) {
+    Operand o;
+    o.kind = Kind::Imm;
+    o.type = t;
+    o.imm = v;
+    return o;
+  }
+  static Operand make_fimm(double v, Type t = Type::F32) {
+    Operand o;
+    o.kind = Kind::Imm;
+    o.type = t;
+    o.fimm = v;
+    return o;
+  }
+  static Operand make_sreg(SReg s) {
+    Operand o;
+    o.kind = Kind::Special;
+    o.type = Type::S32;
+    o.sreg = s;
+    return o;
+  }
+
+  bool is_reg() const noexcept { return kind == Kind::Reg; }
+  std::string to_string() const;
+};
+
+struct Instruction {
+  Opcode op = Opcode::Ret;
+  Type type = Type::S32;   // primary type (.f32 of fma.rn.f32)
+  Type aux_type = Type::S32;  // source type for Cvt
+  Cmp cmp = Cmp::Lt;       // for Setp
+
+  /// Guard predicate: execute only where the predicate register holds
+  /// (negated when pred_negate). PTX spelling: "@p" / "@!p".
+  int pred_reg = -1;
+  bool pred_negate = false;
+
+  std::vector<Operand> dst;
+  std::vector<Operand> src;
+
+  int param_index = -1;    // for LdParam
+  std::string label;       // for Label / Bra targets
+  std::string comment;     // carried into emitted text
+
+  bool has_pred() const noexcept { return pred_reg >= 0; }
+};
+
+/// Kernel parameter (all parameters are 64-bit: pointers or widened scalars).
+struct Param {
+  std::string name;
+  bool is_pointer = true;
+};
+
+struct Kernel {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<Instruction> body;
+  int smem_bytes = 0;  // static .shared allocation
+
+  /// Virtual register counts per class, maintained by the builder.
+  int num_pred = 0;
+  int num_s32 = 0;
+  int num_u64 = 0;
+  int num_f16 = 0;
+  int num_f32 = 0;
+  int num_f64 = 0;
+
+  int reg_count(Type t) const noexcept;
+};
+
+struct Module {
+  std::string target = "sm_60";  // sm_52 for Maxwell, sm_60 for Pascal
+  std::string version = "5.0";
+  std::vector<Kernel> kernels;
+};
+
+}  // namespace isaac::ptx

@@ -1,0 +1,163 @@
+#include "ptx/verifier.hpp"
+
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace isaac::ptx {
+
+std::string VerifyResult::summary() const {
+  if (ok) return "ok";
+  return strings::join(errors, "; ");
+}
+
+namespace {
+
+bool is_float(Type t) { return t == Type::F16 || t == Type::F32 || t == Type::F64; }
+
+void check_operand(VerifyResult& out, const Kernel& k, const Instruction& inst,
+                   const Operand& op, std::size_t idx, bool is_dst) {
+  switch (op.kind) {
+    case Operand::Kind::None:
+      out.fail(strings::format("inst %zu (%s): empty operand", idx, opcode_name(inst.op)));
+      break;
+    case Operand::Kind::Reg:
+      if (op.reg < 0 || op.reg >= k.reg_count(op.type)) {
+        out.fail(strings::format("inst %zu (%s): register %s%d outside allocated range", idx,
+                                 opcode_name(inst.op), reg_prefix(op.type), op.reg));
+      }
+      break;
+    case Operand::Kind::Imm:
+      if (is_dst) {
+        out.fail(strings::format("inst %zu (%s): immediate as destination", idx,
+                                 opcode_name(inst.op)));
+      }
+      break;
+    case Operand::Kind::Special:
+      if (is_dst) {
+        out.fail(strings::format("inst %zu (%s): special register as destination", idx,
+                                 opcode_name(inst.op)));
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+VerifyResult verify(const Kernel& k) {
+  VerifyResult out;
+
+  if (k.name.empty()) out.fail("kernel has no name");
+  if (k.body.empty()) out.fail("kernel body is empty");
+  if (k.smem_bytes < 0) out.fail("negative shared memory size");
+
+  // Collect labels.
+  std::set<std::string> labels;
+  for (const Instruction& inst : k.body) {
+    if (inst.op == Opcode::Label) {
+      if (!labels.insert(inst.label).second) {
+        out.fail("duplicate label: " + inst.label);
+      }
+    }
+  }
+
+  bool saw_ret = false;
+  for (std::size_t i = 0; i < k.body.size(); ++i) {
+    const Instruction& inst = k.body[i];
+
+    // Predicate register must be allocated.
+    if (inst.has_pred() && inst.pred_reg >= k.num_pred) {
+      out.fail(strings::format("inst %zu (%s): predicate %%p%d outside allocated range", i,
+                               opcode_name(inst.op), inst.pred_reg));
+    }
+
+    // Barriers may not be guarded: divergent barriers deadlock real GPUs.
+    if (inst.op == Opcode::Bar && inst.has_pred()) {
+      out.fail(strings::format("inst %zu: predicated bar.sync (divergent barrier)", i));
+    }
+
+    for (const Operand& d : inst.dst) check_operand(out, k, inst, d, i, /*is_dst=*/true);
+    for (const Operand& s : inst.src) check_operand(out, k, inst, s, i, /*is_dst=*/false);
+
+    switch (inst.op) {
+      case Opcode::Bra:
+        if (!labels.count(inst.label)) {
+          out.fail(strings::format("inst %zu: branch to undefined label '%s'", i,
+                                   inst.label.c_str()));
+        }
+        break;
+      case Opcode::LdParam:
+        if (inst.param_index < 0 ||
+            inst.param_index >= static_cast<int>(k.params.size())) {
+          out.fail(strings::format("inst %zu: ld.param index %d out of range", i,
+                                   inst.param_index));
+        }
+        break;
+      case Opcode::Fma:
+        if (!is_float(inst.type)) {
+          out.fail(strings::format("inst %zu: fma on non-float type", i));
+        }
+        if (inst.src.size() != 3 || inst.dst.size() != 1) {
+          out.fail(strings::format("inst %zu: fma operand arity", i));
+        }
+        break;
+      case Opcode::Mad:
+        if (is_float(inst.type)) {
+          out.fail(strings::format("inst %zu: mad.lo on float type (use fma)", i));
+        }
+        break;
+      case Opcode::LdShared:
+      case Opcode::StShared: {
+        // The dynamic part of the address is only known at run time, but a
+        // negative immediate or an immediate past the static allocation is a
+        // generator bug either way.
+        const Operand& imm = inst.src[1];
+        if (imm.imm < 0) {
+          out.fail(strings::format("inst %zu: negative shared-memory offset", i));
+        } else if (imm.imm + static_cast<std::int64_t>(type_bytes(inst.type)) >
+                   k.smem_bytes) {
+          // Base may still be dynamic; only flag when the base is a literal 0.
+          if (inst.src[0].kind == Operand::Kind::Imm && inst.src[0].imm == 0) {
+            out.fail(strings::format("inst %zu: static shared-memory access out of bounds", i));
+          }
+        }
+        break;
+      }
+      case Opcode::Ret:
+        saw_ret = true;
+        break;
+      default:
+        break;
+    }
+
+    // Type discipline: dst type equals instruction type for compute ops.
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Min:
+      case Opcode::Mad:
+      case Opcode::Fma:
+      case Opcode::Mov:
+        if (!inst.dst.empty() && inst.dst[0].is_reg() && inst.dst[0].type != inst.type) {
+          out.fail(strings::format("inst %zu (%s): destination type != instruction type", i,
+                                   opcode_name(inst.op)));
+        }
+        break;
+      case Opcode::Setp:
+        if (!inst.dst.empty() && inst.dst[0].type != Type::Pred) {
+          out.fail(strings::format("inst %zu: setp destination is not a predicate", i));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (!saw_ret) out.fail("kernel does not terminate with ret");
+  return out;
+}
+
+}  // namespace isaac::ptx

@@ -1,0 +1,29 @@
+// Static verification of PTX-like kernels.
+//
+// Catches generator bugs before a kernel reaches the interpreter or the
+// performance model: unallocated registers, type mismatches, undefined branch
+// targets, barriers under non-uniform predication, and out-of-bounds static
+// shared-memory immediates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ptx/ir.hpp"
+
+namespace isaac::ptx {
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+  std::string summary() const;
+};
+
+VerifyResult verify(const Kernel& kernel);
+
+}  // namespace isaac::ptx

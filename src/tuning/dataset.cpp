@@ -1,0 +1,90 @@
+#include "tuning/dataset.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace isaac::tuning {
+
+std::vector<double> features(const codegen::GemmShape& shape, const codegen::GemmTuning& t) {
+  return {static_cast<double>(shape.m),
+          static_cast<double>(shape.n),
+          static_cast<double>(shape.k),
+          static_cast<double>(gpusim::dtype_size(shape.dtype)),
+          shape.trans_a ? 2.0 : 1.0,
+          shape.trans_b ? 2.0 : 1.0,
+          static_cast<double>(t.ms),
+          static_cast<double>(t.ns),
+          static_cast<double>(t.ml),
+          static_cast<double>(t.nl),
+          static_cast<double>(t.u),
+          static_cast<double>(t.ks),
+          static_cast<double>(t.kl),
+          static_cast<double>(t.kg),
+          static_cast<double>(t.vec)};
+}
+
+std::vector<double> features(const codegen::ConvShape& shape, const codegen::ConvTuning& t) {
+  return features(codegen::conv_gemm_shape(shape), codegen::conv_gemm_tuning(t));
+}
+
+void Dataset::add(Sample s) {
+  if (s.x.size() != kNumFeatures) {
+    throw std::invalid_argument(strings::format("Dataset::add: expected %zu features, got %zu",
+                                                kNumFeatures, s.x.size()));
+  }
+  samples_.push_back(std::move(s));
+}
+
+void Dataset::shuffle(Rng& rng) { rng.shuffle(samples_); }
+
+std::pair<Dataset, Dataset> Dataset::split(std::size_t count) const {
+  if (count > samples_.size()) throw std::invalid_argument("Dataset::split: count too large");
+  Dataset head, tail;
+  head.samples_.assign(samples_.begin(), samples_.begin() + static_cast<std::ptrdiff_t>(count));
+  tail.samples_.assign(samples_.begin() + static_cast<std::ptrdiff_t>(count), samples_.end());
+  return {std::move(head), std::move(tail)};
+}
+
+Dataset Dataset::take(std::size_t count) const {
+  Dataset out;
+  const std::size_t n = std::min(count, samples_.size());
+  out.samples_.assign(samples_.begin(), samples_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+void Dataset::save_csv(std::ostream& os) const {
+  for (std::size_t f = 0; f < kNumFeatures; ++f) os << "f" << f << ",";
+  os << "y\n";
+  for (const Sample& s : samples_) {
+    for (double v : s.x) os << v << ",";
+    os << s.y << "\n";
+  }
+}
+
+Dataset Dataset::load_csv(std::istream& is) {
+  Dataset out;
+  std::string line;
+  bool header = true;
+  while (std::getline(is, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (strings::trim(line).empty()) continue;
+    const auto parts = strings::split(line, ',');
+    if (parts.size() != kNumFeatures + 1) {
+      throw std::runtime_error("Dataset::load_csv: malformed row: " + line);
+    }
+    Sample s;
+    s.x.reserve(kNumFeatures);
+    for (std::size_t i = 0; i < kNumFeatures; ++i) s.x.push_back(std::stod(parts[i]));
+    s.y = std::stod(parts.back());
+    out.add(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace isaac::tuning

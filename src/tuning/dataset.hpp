@@ -1,0 +1,59 @@
+// Training datasets for the regression model (paper §4).
+//
+// A sample pairs the 15-dimensional feature vector
+//   [M, N, K, dtype_bytes, 1+trans_a, 1+trans_b,        (6 input parameters)
+//    MS, NS, ML, NL, U, KS, KL, KG, vec]                (9 tuning parameters)
+// with the measured performance y in GFLOPS. Every feature is >= 1 by
+// construction, so the log transform of §5.2 is always well defined. CONV
+// samples use the implicit-GEMM equivalent features, so one regression model
+// serves both generators.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "codegen/conv.hpp"
+#include "codegen/gemm.hpp"
+#include "common/rng.hpp"
+
+namespace isaac::tuning {
+
+inline constexpr std::size_t kNumFeatures = 15;
+
+struct Sample {
+  std::vector<double> x;  // kNumFeatures entries
+  double y = 0.0;         // measured GFLOPS
+};
+
+/// Feature encodings.
+std::vector<double> features(const codegen::GemmShape& shape, const codegen::GemmTuning& t);
+std::vector<double> features(const codegen::ConvShape& shape, const codegen::ConvTuning& t);
+
+class Dataset {
+ public:
+  void add(Sample s);
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  void shuffle(Rng& rng);
+
+  /// Split off the first `count` samples (after shuffling) as one dataset and
+  /// the rest as another.
+  std::pair<Dataset, Dataset> split(std::size_t count) const;
+
+  /// First `count` samples (for Fig-5 style dataset-size sweeps).
+  Dataset take(std::size_t count) const;
+
+  /// CSV round trip: header "f0,...,f14,y".
+  void save_csv(std::ostream& os) const;
+  static Dataset load_csv(std::istream& is);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace isaac::tuning

@@ -1,0 +1,66 @@
+#include "tuning/generative.hpp"
+
+#include <stdexcept>
+
+namespace isaac::tuning {
+
+CategoricalModel::CategoricalModel(std::vector<ParameterDomain> domains, double alpha)
+    : domains_(std::move(domains)), alpha_(alpha) {
+  if (alpha_ <= 0.0) throw std::invalid_argument("CategoricalModel: alpha must be positive");
+  counts_.reserve(domains_.size());
+  for (const auto& d : domains_) {
+    if (d.values.empty()) throw std::invalid_argument("CategoricalModel: empty domain");
+    counts_.emplace_back(d.values.size(), alpha_);
+  }
+}
+
+AcceptanceStats CategoricalModel::fit(const LegalFn& legal, std::size_t probe_samples,
+                                      Rng& rng) {
+  AcceptanceStats stats;
+  std::vector<std::size_t> choice(domains_.size());
+  for (std::size_t s = 0; s < probe_samples; ++s) {
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+      choice[d] = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(domains_[d].values.size()) - 1));
+    }
+    ++stats.attempted;
+    if (legal(choice)) {
+      ++stats.accepted;
+      for (std::size_t d = 0; d < domains_.size(); ++d) counts_[d][choice[d]] += 1.0;
+    }
+  }
+  return stats;
+}
+
+std::vector<std::size_t> CategoricalModel::sample(Rng& rng) const {
+  std::vector<std::size_t> choice(domains_.size());
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    choice[d] = rng.categorical(counts_[d]);
+  }
+  return choice;
+}
+
+bool CategoricalModel::sample_legal(const LegalFn& legal, Rng& rng,
+                                    std::vector<std::size_t>& out, AcceptanceStats& stats,
+                                    std::size_t max_attempts) const {
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    out = sample(rng);
+    ++stats.attempted;
+    if (legal(out)) {
+      ++stats.accepted;
+      return true;
+    }
+  }
+  return false;
+}
+
+double CategoricalModel::probability(std::size_t param, std::size_t value_index) const {
+  if (param >= counts_.size() || value_index >= counts_[param].size()) {
+    throw std::out_of_range("CategoricalModel::probability");
+  }
+  double total = 0.0;
+  for (double c : counts_[param]) total += c;
+  return counts_[param][value_index] / total;
+}
+
+}  // namespace isaac::tuning

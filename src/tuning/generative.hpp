@@ -1,0 +1,68 @@
+// Generative model over the legal configuration space (paper §4.1).
+//
+// Treats the tuning vector as independent categorical variables:
+//
+//   p(x ∈ X) ≈ p(x_0) · p(x_1) · ... · p(x_N)
+//
+// Each p(x_i = v) is estimated as the proportion of accepted samples with
+// x_i = v during a short uniform probing phase, smoothed with a Dirichlet
+// prior by initializing every count at α > 0 (the paper — and this
+// implementation — uses α = 100), so no value's probability is ever exactly
+// zero. Sampling from the fitted model concentrates draws in the legal space
+// X without having to enumerate it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tuning/search_space.hpp"
+
+namespace isaac::tuning {
+
+/// Acceptance statistics from a sampling run.
+struct AcceptanceStats {
+  std::size_t attempted = 0;
+  std::size_t accepted = 0;
+  double rate() const noexcept {
+    return attempted ? static_cast<double>(accepted) / static_cast<double>(attempted) : 0.0;
+  }
+};
+
+/// Categorical model over an arbitrary cartesian space described by
+/// ParameterDomains, with legality judged by a caller-supplied predicate on
+/// the per-parameter value-index vector.
+class CategoricalModel {
+ public:
+  using LegalFn = std::function<bool(const std::vector<std::size_t>&)>;
+
+  /// alpha: Dirichlet prior pseudo-count per category (paper value 100).
+  CategoricalModel(std::vector<ParameterDomain> domains, double alpha = 100.0);
+
+  /// Uniformly probe X̂ `probe_samples` times and accumulate per-value
+  /// acceptance counts. Returns the probing acceptance stats (the "Uniform"
+  /// column of Table 1).
+  AcceptanceStats fit(const LegalFn& legal, std::size_t probe_samples, Rng& rng);
+
+  /// Draw one choice vector from the fitted factorized distribution.
+  std::vector<std::size_t> sample(Rng& rng) const;
+
+  /// Draw until `legal` accepts (at most max_attempts); returns whether a
+  /// legal sample was found and updates `stats` with attempt/acceptance
+  /// counts (the "Categorical" column of Table 1).
+  bool sample_legal(const LegalFn& legal, Rng& rng, std::vector<std::size_t>& out,
+                    AcceptanceStats& stats, std::size_t max_attempts = 1000) const;
+
+  /// Normalized p(x_i = v).
+  double probability(std::size_t param, std::size_t value_index) const;
+
+  const std::vector<ParameterDomain>& domains() const noexcept { return domains_; }
+
+ private:
+  std::vector<ParameterDomain> domains_;
+  double alpha_;
+  std::vector<std::vector<double>> counts_;  // per parameter, per value
+};
+
+}  // namespace isaac::tuning

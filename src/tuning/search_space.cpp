@@ -1,0 +1,148 @@
+#include "tuning/search_space.hpp"
+
+#include <stdexcept>
+
+namespace isaac::tuning {
+
+namespace {
+
+// Table 1's setup: "each parameter is constrained to be a power of two
+// between 1 and 16" — literally, for every parameter. This includes values a
+// curated candidate list would never offer (1-wide block tiles, U = 1), which
+// is exactly what makes uniform sampling of X̂ so wasteful in the paper.
+std::vector<int> maybe_cap(const std::vector<int>& values, bool cap16) {
+  if (!cap16) return values;
+  return {1, 2, 4, 8, 16};
+}
+
+std::size_t product_size(const std::vector<ParameterDomain>& domains) {
+  std::size_t total = 1;
+  for (const auto& d : domains) total *= d.values.size();
+  return total;
+}
+
+template <typename Decode>
+void cartesian_for_each(const std::vector<ParameterDomain>& domains, const Decode& decode_fn) {
+  std::vector<std::size_t> choice(domains.size(), 0);
+  while (true) {
+    if (!decode_fn(choice)) return;
+    // odometer increment
+    std::size_t d = 0;
+    for (; d < domains.size(); ++d) {
+      if (++choice[d] < domains[d].values.size()) break;
+      choice[d] = 0;
+    }
+    if (d == domains.size()) return;
+  }
+}
+
+std::vector<std::size_t> uniform_choice(const std::vector<ParameterDomain>& domains, Rng& rng) {
+  std::vector<std::size_t> choice(domains.size());
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    choice[d] = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(domains[d].values.size()) - 1));
+  }
+  return choice;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- GEMM --
+
+GemmSearchSpace::GemmSearchSpace(bool cap16) {
+  using T = codegen::GemmTuning;
+  domains_ = {
+      {"ms", maybe_cap(T::candidates_ms(), cap16)},
+      {"ns", maybe_cap(T::candidates_ns(), cap16)},
+      {"ml", maybe_cap(T::candidates_ml(), cap16)},
+      {"nl", maybe_cap(T::candidates_nl(), cap16)},
+      {"u", maybe_cap(T::candidates_u(), cap16)},
+      {"ks", maybe_cap(T::candidates_ks(), cap16)},
+      {"kl", maybe_cap(T::candidates_kl(), cap16)},
+      {"kg", maybe_cap(T::candidates_kg(), cap16)},
+      {"vec", maybe_cap(T::candidates_vec(), cap16)},
+  };
+}
+
+std::size_t GemmSearchSpace::size() const noexcept { return product_size(domains_); }
+
+codegen::GemmTuning GemmSearchSpace::decode(const std::vector<std::size_t>& choice) const {
+  if (choice.size() != domains_.size()) throw std::invalid_argument("decode: arity mismatch");
+  codegen::GemmTuning t;
+  t.ms = domains_[0].values[choice[0]];
+  t.ns = domains_[1].values[choice[1]];
+  t.ml = domains_[2].values[choice[2]];
+  t.nl = domains_[3].values[choice[3]];
+  t.u = domains_[4].values[choice[4]];
+  t.ks = domains_[5].values[choice[5]];
+  t.kl = domains_[6].values[choice[6]];
+  t.kg = domains_[7].values[choice[7]];
+  t.vec = domains_[8].values[choice[8]];
+  return t;
+}
+
+codegen::GemmTuning GemmSearchSpace::sample_uniform(Rng& rng,
+                                                    std::vector<std::size_t>* choice) const {
+  auto c = uniform_choice(domains_, rng);
+  if (choice) *choice = c;
+  return decode(c);
+}
+
+void GemmSearchSpace::for_each(
+    const std::function<bool(const codegen::GemmTuning&)>& fn) const {
+  cartesian_for_each(domains_,
+                     [&](const std::vector<std::size_t>& choice) { return fn(decode(choice)); });
+}
+
+// ------------------------------------------------------------------- CONV --
+
+ConvSearchSpace::ConvSearchSpace(bool cap16) {
+  using T = codegen::ConvTuning;
+  domains_ = {
+      {"tk", maybe_cap(T::candidates_tk(), cap16)},
+      {"tp", maybe_cap(T::candidates_tp(), cap16)},
+      {"tq", maybe_cap(T::candidates_tq(), cap16)},
+      {"tn", maybe_cap(T::candidates_tn(), cap16)},
+      {"bk", maybe_cap(T::candidates_bk(), cap16)},
+      {"bp", maybe_cap(T::candidates_bp(), cap16)},
+      {"bq", maybe_cap(T::candidates_bq(), cap16)},
+      {"bn", maybe_cap(T::candidates_bn(), cap16)},
+      {"u", maybe_cap(T::candidates_u(), cap16)},
+      {"cl", maybe_cap(T::candidates_cl(), cap16)},
+      {"cg", maybe_cap(T::candidates_cg(), cap16)},
+  };
+}
+
+std::size_t ConvSearchSpace::size() const noexcept { return product_size(domains_); }
+
+codegen::ConvTuning ConvSearchSpace::decode(const std::vector<std::size_t>& choice) const {
+  if (choice.size() != domains_.size()) throw std::invalid_argument("decode: arity mismatch");
+  codegen::ConvTuning t;
+  t.tk = domains_[0].values[choice[0]];
+  t.tp = domains_[1].values[choice[1]];
+  t.tq = domains_[2].values[choice[2]];
+  t.tn = domains_[3].values[choice[3]];
+  t.bk = domains_[4].values[choice[4]];
+  t.bp = domains_[5].values[choice[5]];
+  t.bq = domains_[6].values[choice[6]];
+  t.bn = domains_[7].values[choice[7]];
+  t.u = domains_[8].values[choice[8]];
+  t.cl = domains_[9].values[choice[9]];
+  t.cg = domains_[10].values[choice[10]];
+  return t;
+}
+
+codegen::ConvTuning ConvSearchSpace::sample_uniform(Rng& rng,
+                                                    std::vector<std::size_t>* choice) const {
+  auto c = uniform_choice(domains_, rng);
+  if (choice) *choice = c;
+  return decode(c);
+}
+
+void ConvSearchSpace::for_each(
+    const std::function<bool(const codegen::ConvTuning&)>& fn) const {
+  cartesian_for_each(domains_,
+                     [&](const std::vector<std::size_t>& choice) { return fn(decode(choice)); });
+}
+
+}  // namespace isaac::tuning

@@ -1,0 +1,71 @@
+// Search spaces over tuning parameters.
+//
+// The paper distinguishes the *possible* space X̂ (anything the sampler can
+// emit — the cartesian product of per-parameter candidate lists) from the
+// *legal* space X (configurations that compile and run within hardware
+// limits). SearchSpace enumerates/draws from X̂; legality is always judged by
+// codegen::validate against a concrete (shape, device).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/conv.hpp"
+#include "codegen/gemm.hpp"
+#include "common/rng.hpp"
+
+namespace isaac::tuning {
+
+/// One tunable parameter: a name and its candidate values.
+struct ParameterDomain {
+  std::string name;
+  std::vector<int> values;
+};
+
+/// Generic cartesian-product space driven by per-parameter domains, with a
+/// decoder turning an index vector into a concrete tuning struct.
+class GemmSearchSpace {
+ public:
+  /// Default domains follow GemmTuning::candidates_*. `cap16` restricts every
+  /// domain to powers of two in [1, 16] — the constraint Table 1 uses.
+  explicit GemmSearchSpace(bool cap16 = false);
+
+  const std::vector<ParameterDomain>& domains() const noexcept { return domains_; }
+  std::size_t num_parameters() const noexcept { return domains_.size(); }
+
+  /// Total size of X̂.
+  std::size_t size() const noexcept;
+
+  /// Decode per-parameter value indices into a tuning struct.
+  codegen::GemmTuning decode(const std::vector<std::size_t>& choice) const;
+
+  /// Uniform draw from X̂.
+  codegen::GemmTuning sample_uniform(Rng& rng, std::vector<std::size_t>* choice = nullptr) const;
+
+  /// Visit every point of X̂ (used by exhaustive runtime inference). The
+  /// callback returns false to stop early.
+  void for_each(const std::function<bool(const codegen::GemmTuning&)>& fn) const;
+
+ private:
+  std::vector<ParameterDomain> domains_;
+};
+
+class ConvSearchSpace {
+ public:
+  explicit ConvSearchSpace(bool cap16 = false);
+
+  const std::vector<ParameterDomain>& domains() const noexcept { return domains_; }
+  std::size_t num_parameters() const noexcept { return domains_.size(); }
+  std::size_t size() const noexcept;
+
+  codegen::ConvTuning decode(const std::vector<std::size_t>& choice) const;
+  codegen::ConvTuning sample_uniform(Rng& rng, std::vector<std::size_t>* choice = nullptr) const;
+  void for_each(const std::function<bool(const codegen::ConvTuning&)>& fn) const;
+
+ private:
+  std::vector<ParameterDomain> domains_;
+};
+
+}  // namespace isaac::tuning

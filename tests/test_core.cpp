@@ -1,0 +1,254 @@
+// Integration tests for runtime inference, the profile cache, and the public
+// ISAAC API end-to-end (train → tune → execute → verify numerics).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/isaac.hpp"
+#include "core/profile_cache.hpp"
+#include "gpusim/device.hpp"
+#include "tuning/collector.hpp"
+
+namespace isaac::core {
+namespace {
+
+/// One small trained model shared by the inference tests (training is the
+/// expensive part; the suite budget is single-digit seconds).
+const mlp::Regressor& shared_model() {
+  static const mlp::Regressor model = [] {
+    gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 123);
+    tuning::CollectorConfig cfg;
+    cfg.num_samples = 2500;
+    cfg.seed = 31337;
+    const auto report = tuning::collect_gemm(sim, cfg);
+    mlp::TrainConfig tc;
+    tc.net.hidden = {48, 48};
+    tc.epochs = 10;
+    return mlp::train(report.dataset, tc);
+  }();
+  return model;
+}
+
+InferenceConfig fast_inference() {
+  InferenceConfig cfg;
+  cfg.top_k = 20;
+  cfg.reeval_reps = 3;
+  cfg.max_candidates = 20000;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- inference --
+TEST(Inference, FindsLegalWinner) {
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  codegen::GemmShape shape;
+  shape.m = shape.n = shape.k = 512;
+  const auto result = tune_gemm(shape, shared_model(), sim, fast_inference());
+  EXPECT_GT(result.legal, 0u);
+  EXPECT_GT(result.enumerated, result.legal);
+  EXPECT_GT(result.best.measured_gflops, 0.0);
+  EXPECT_TRUE(codegen::validate(shape, result.best.tuning, sim.device()));
+}
+
+TEST(Inference, TopKSortedByMeasurement) {
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  codegen::GemmShape shape;
+  shape.m = 2560;
+  shape.n = 32;
+  shape.k = 2560;
+  const auto result = tune_gemm(shape, shared_model(), sim, fast_inference());
+  ASSERT_GE(result.top.size(), 2u);
+  for (std::size_t i = 1; i < result.top.size(); ++i) {
+    EXPECT_GE(result.top[i - 1].measured_gflops, result.top[i].measured_gflops);
+  }
+  EXPECT_DOUBLE_EQ(result.best.measured_gflops, result.top.front().measured_gflops);
+}
+
+TEST(Inference, SkinnyShapeGetsNarrowTile) {
+  // The input-aware property: for N = 16 the tuner must not pick a 64- or
+  // 128-wide N tile (the §8.1 failure mode of static libraries).
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  codegen::GemmShape shape;
+  shape.m = 2560;
+  shape.n = 16;
+  shape.k = 2560;
+  const auto result = tune_gemm(shape, shared_model(), sim, fast_inference());
+  EXPECT_LE(result.best.tuning.nl, 32) << result.best.tuning.to_string();
+}
+
+TEST(Inference, DeepReductionGetsSplit) {
+  // ICA regime: tiny output, K = 60000 — the winner must split the reduction.
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  codegen::GemmShape shape;
+  shape.m = shape.n = 32;
+  shape.k = 60000;
+  const auto result = tune_gemm(shape, shared_model(), sim, fast_inference());
+  EXPECT_GT(result.best.tuning.kg * result.best.tuning.kl, 1)
+      << result.best.tuning.to_string();
+}
+
+TEST(Inference, ConvTuningWorks) {
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  const auto shape = codegen::ConvShape::from_npq(8, 54, 54, 64, 64, 3, 3);
+  InferenceConfig cfg = fast_inference();
+  cfg.max_candidates = 5000;
+  const auto result = tune_conv(shape, shared_model(), sim, cfg);
+  EXPECT_GT(result.best.measured_gflops, 0.0);
+  EXPECT_TRUE(codegen::validate(shape, result.best.tuning, sim.device()));
+}
+
+TEST(Inference, ImpossibleShapeThrows) {
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  codegen::GemmShape shape;
+  shape.m = shape.n = 64;
+  shape.k = 2;  // below the smallest prefetch depth (U >= 4): no legal config
+  EXPECT_THROW(tune_gemm(shape, shared_model(), sim, fast_inference()), std::runtime_error);
+}
+
+// ------------------------------------------------------------ profile cache --
+TEST(ProfileCache, InMemoryRoundTrip) {
+  ProfileCache cache;
+  codegen::GemmShape shape;
+  shape.m = shape.n = shape.k = 512;
+  EXPECT_FALSE(cache.lookup_gemm("p100", shape).has_value());
+  codegen::GemmTuning t;
+  t.ml = 32;
+  cache.store_gemm("p100", shape, t);
+  const auto got = cache.lookup_gemm("p100", shape);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ml, 32);
+  // Different device or shape: miss.
+  EXPECT_FALSE(cache.lookup_gemm("gtx980ti", shape).has_value());
+  shape.trans_a = true;
+  EXPECT_FALSE(cache.lookup_gemm("p100", shape).has_value());
+}
+
+TEST(ProfileCache, PersistsAcrossInstances) {
+  const std::string dir = (std::filesystem::temp_directory_path() / "isaac_cache_test").string();
+  std::filesystem::remove_all(dir);
+  codegen::GemmShape shape;
+  shape.m = 2560;
+  shape.n = 16;
+  shape.k = 2560;
+  codegen::ConvShape cshape = codegen::ConvShape::from_npq(8, 54, 54, 64, 64, 3, 3);
+  {
+    ProfileCache cache(dir);
+    codegen::GemmTuning t;
+    t.nl = 16;
+    t.kg = 4;
+    cache.store_gemm("p100", shape, t);
+    codegen::ConvTuning ct;
+    ct.bk = 64;
+    cache.store_conv("p100", cshape, ct);
+  }
+  ProfileCache reloaded(dir);
+  const auto got = reloaded.lookup_gemm("p100", shape);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->nl, 16);
+  EXPECT_EQ(got->kg, 4);
+  const auto cgot = reloaded.lookup_conv("p100", cshape);
+  ASSERT_TRUE(cgot.has_value());
+  EXPECT_EQ(cgot->bk, 64);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileCache, KeysDistinguishDtypeAndLayout) {
+  codegen::GemmShape a, b;
+  a.m = b.m = a.n = b.n = a.k = b.k = 128;
+  b.dtype = gpusim::DataType::F16;
+  EXPECT_NE(ProfileCache::gemm_key("d", a), ProfileCache::gemm_key("d", b));
+  b = a;
+  b.trans_b = true;
+  EXPECT_NE(ProfileCache::gemm_key("d", a), ProfileCache::gemm_key("d", b));
+}
+
+// ------------------------------------------------------------------ context --
+TEST(Context, GemmEndToEndProducesCorrectNumerics) {
+  ContextOptions opts;
+  opts.inference = fast_inference();
+  Context ctx(gpusim::tesla_p100(), opts);
+  ctx.set_model(shared_model());
+
+  codegen::GemmShape shape;
+  shape.m = 96;
+  shape.n = 48;
+  shape.k = 200;
+  shape.trans_b = true;
+  Rng rng(5);
+  std::vector<float> a(static_cast<std::size_t>(shape.m * shape.k));
+  std::vector<float> b(static_cast<std::size_t>(shape.n * shape.k));
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> c(static_cast<std::size_t>(shape.m * shape.n), 0.0f);
+  std::vector<float> c_ref = c;
+
+  const auto info = ctx.gemm(shape, 1.0f, a.data(), shape.m, b.data(), shape.n, 0.0f, c.data(),
+                             shape.m);
+  EXPECT_GT(info.gflops, 0.0);
+  EXPECT_FALSE(info.from_cache);
+
+  codegen::reference_gemm(shape, 1.0f, a.data(), shape.m, b.data(), shape.n, 0.0f,
+                          c_ref.data(), shape.m);
+  double max_diff = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    max_diff = std::max(max_diff, static_cast<double>(std::abs(c[i] - c_ref[i])));
+  }
+  EXPECT_LT(max_diff, 1e-2);
+
+  // Second call hits the cache and still computes correctly.
+  std::vector<float> c2(c.size(), 0.0f);
+  const auto info2 = ctx.gemm(shape, 1.0f, a.data(), shape.m, b.data(), shape.n, 0.0f,
+                              c2.data(), shape.m);
+  EXPECT_TRUE(info2.from_cache);
+  EXPECT_EQ(info2.tuning, info.tuning);
+}
+
+TEST(Context, ConvEndToEnd) {
+  ContextOptions opts;
+  opts.inference = fast_inference();
+  opts.inference.max_candidates = 4000;
+  Context ctx(gpusim::tesla_p100(), opts);
+  ctx.set_model(shared_model());
+
+  const auto shape = codegen::ConvShape::from_npq(4, 10, 10, 16, 8, 3, 3);
+  Rng rng(6);
+  std::vector<float> input(static_cast<std::size_t>(shape.c * shape.h * shape.w * shape.n));
+  std::vector<float> filters(static_cast<std::size_t>(shape.crs() * shape.k));
+  for (auto& x : input) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : filters) x = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> out(static_cast<std::size_t>(shape.k * shape.p() * shape.q() * shape.n));
+  std::vector<float> out_ref = out;
+
+  const auto info = ctx.conv(shape, 1.0f, input.data(), filters.data(), 0.0f, out.data());
+  EXPECT_GT(info.gflops, 0.0);
+
+  codegen::reference_conv(shape, 1.0f, input.data(), filters.data(), 0.0f, out_ref.data());
+  double max_diff = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    max_diff = std::max(max_diff, static_cast<double>(std::abs(out[i] - out_ref[i])));
+  }
+  EXPECT_LT(max_diff, 1e-2);
+}
+
+TEST(Context, RequiresModel) {
+  Context ctx(gpusim::gtx980ti());
+  codegen::GemmShape shape;
+  shape.m = shape.n = shape.k = 256;
+  EXPECT_THROW(ctx.tune_gemm(shape), std::logic_error);
+}
+
+TEST(Context, TrainModelProducesUsableModel) {
+  ContextOptions opts;
+  opts.inference = fast_inference();
+  Context ctx(gpusim::gtx980ti(), opts);
+  ctx.train_model(/*samples=*/1200, /*epochs=*/6);
+  EXPECT_TRUE(ctx.has_model());
+  codegen::GemmShape shape;
+  shape.m = shape.n = shape.k = 512;
+  const auto result = ctx.tune_gemm(shape);
+  EXPECT_GT(result.best.measured_gflops, 0.0);
+}
+
+}  // namespace
+}  // namespace isaac::core

@@ -1,0 +1,380 @@
+// Unit + property tests for the GPU simulator substrate: device descriptors,
+// occupancy rules, the analytical performance model, and the noisy simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/simulator.hpp"
+
+namespace isaac::gpusim {
+namespace {
+
+// ----------------------------------------------------------------- device --
+TEST(Device, Table3Identities) {
+  const auto& m = gtx980ti();
+  EXPECT_EQ(m.num_sms * m.cuda_cores_per_sm, 2816);  // paper: 2816 CUDA cores
+  EXPECT_NEAR(m.boost_clock_ghz, 1.075, 1e-9);
+  EXPECT_NEAR(m.peak_sp_tflops, 5.8, 1e-9);
+  EXPECT_NEAR(m.dram_bandwidth_gbs, 336.0, 1e-9);
+  EXPECT_EQ(m.memory_type, "GDDR5");
+
+  const auto& p = tesla_p100();
+  EXPECT_EQ(p.num_sms * p.cuda_cores_per_sm, 3584);  // paper: 3584 CUDA cores
+  EXPECT_NEAR(p.boost_clock_ghz, 1.353, 1e-9);
+  EXPECT_NEAR(p.peak_sp_tflops, 9.7, 1e-9);
+  EXPECT_NEAR(p.dram_bandwidth_gbs, 732.0, 1e-9);
+  EXPECT_EQ(p.memory_type, "HBM2");
+}
+
+TEST(Device, DtypePeaks) {
+  const auto& p = tesla_p100();
+  // GP100: half precision 2x, double precision 0.5x of single precision.
+  EXPECT_NEAR(p.peak_tflops(DataType::F16), 2.0 * 9.7, 1e-9);
+  EXPECT_NEAR(p.peak_tflops(DataType::F64), 0.5 * 9.7, 1e-9);
+  const auto& m = gtx980ti();
+  // GM200: no fast fp16x2, fp64 at 1/32.
+  EXPECT_NEAR(m.peak_tflops(DataType::F16), 5.8, 1e-9);
+  EXPECT_NEAR(m.peak_tflops(DataType::F64), 5.8 / 32.0, 1e-9);
+}
+
+TEST(Device, FindDeviceAliases) {
+  EXPECT_EQ(find_device("gtx980ti"), &gtx980ti());
+  EXPECT_EQ(find_device("Maxwell"), &gtx980ti());
+  EXPECT_EQ(find_device("P100"), &tesla_p100());
+  EXPECT_EQ(find_device("pascal"), &tesla_p100());
+  EXPECT_EQ(find_device("volta"), nullptr);
+}
+
+TEST(Device, ParseDtype) {
+  DataType dt;
+  EXPECT_TRUE(parse_dtype("f16", dt));
+  EXPECT_EQ(dt, DataType::F16);
+  EXPECT_TRUE(parse_dtype("DOUBLE", dt));
+  EXPECT_EQ(dt, DataType::F64);
+  EXPECT_FALSE(parse_dtype("int8", dt));
+}
+
+TEST(Device, DtypeSizes) {
+  EXPECT_EQ(dtype_size(DataType::F16), 2u);
+  EXPECT_EQ(dtype_size(DataType::F32), 4u);
+  EXPECT_EQ(dtype_size(DataType::F64), 8u);
+}
+
+// -------------------------------------------------------------- occupancy --
+TEST(Occupancy, UnconstrainedKernelHitsWarpLimit) {
+  const auto& dev = tesla_p100();
+  // 256 threads (8 warps), tiny resources: warp slots should bind at 8 blocks.
+  const auto r = occupancy(dev, 256, 16, 0);
+  EXPECT_EQ(r.blocks_per_sm, 8);
+  EXPECT_EQ(r.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+  EXPECT_STREQ(r.limiter, "warps");
+}
+
+TEST(Occupancy, RegisterPressureReducesOccupancy) {
+  const auto& dev = tesla_p100();
+  const auto lo = occupancy(dev, 256, 32, 0);
+  const auto hi = occupancy(dev, 256, 200, 0);
+  EXPECT_GT(lo.warps_per_sm, hi.warps_per_sm);
+  EXPECT_STREQ(hi.limiter, "registers");
+}
+
+TEST(Occupancy, SmemPressureReducesOccupancy) {
+  const auto& dev = tesla_p100();  // 64 KiB smem per SM
+  const auto lo = occupancy(dev, 128, 32, 8 * 1024);
+  const auto hi = occupancy(dev, 128, 32, 32 * 1024);
+  EXPECT_GT(lo.blocks_per_sm, hi.blocks_per_sm);
+  EXPECT_EQ(hi.blocks_per_sm, 2);  // 64 KiB / 32 KiB
+  EXPECT_STREQ(hi.limiter, "smem");
+}
+
+TEST(Occupancy, IllegalBlocksReported) {
+  const auto& dev = tesla_p100();
+  EXPECT_EQ(occupancy(dev, 2048, 32, 0).blocks_per_sm, 0);    // > 1024 threads
+  EXPECT_EQ(occupancy(dev, 256, 300, 0).blocks_per_sm, 0);    // > 255 regs
+  EXPECT_EQ(occupancy(dev, 256, 32, 64 * 1024).blocks_per_sm, 0);  // > 48 KiB
+  EXPECT_EQ(occupancy(dev, 0, 32, 0).blocks_per_sm, 0);
+}
+
+// Property: occupancy is monotone non-increasing in both register count and
+// shared memory usage (DESIGN.md invariant).
+class OccupancyMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(OccupancyMonotone, InRegisters) {
+  const auto& dev = gtx980ti();
+  const int threads = GetParam();
+  int prev = 1 << 30;
+  for (int regs = 16; regs <= 255; regs += 8) {
+    const auto r = occupancy(dev, threads, regs, 4096);
+    EXPECT_LE(r.warps_per_sm, prev) << "regs=" << regs;
+    EXPECT_LE(r.warps_per_sm, dev.max_warps_per_sm);
+    prev = r.warps_per_sm;
+  }
+}
+
+TEST_P(OccupancyMonotone, InSharedMemory) {
+  const auto& dev = gtx980ti();
+  const int threads = GetParam();
+  int prev = 1 << 30;
+  for (int smem = 0; smem <= dev.smem_per_block_bytes; smem += 2048) {
+    const auto r = occupancy(dev, threads, 32, smem);
+    EXPECT_LE(r.warps_per_sm, prev) << "smem=" << smem;
+    prev = r.warps_per_sm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, OccupancyMonotone, ::testing::Values(32, 64, 128, 256, 512));
+
+// ------------------------------------------------------------- perf model --
+
+// A hand-built profile resembling a healthy 64x64-tile SGEMM block on a
+// 2048^3 problem; used as the "reasonable kernel" fixture.
+KernelProfile square_gemm_profile() {
+  KernelProfile p;
+  p.label = "sgemm-64x64";
+  const double m = 2048, n = 2048, k = 2048;
+  const double ml = 64, nl = 64, u = 8;
+  p.grid_blocks = static_cast<std::int64_t>((m / ml) * (n / nl));
+  p.threads_per_block = 64;  // 8x8 threads of 8x8 micro-tiles
+  p.regs_per_thread = 120;
+  p.smem_bytes_per_block = static_cast<int>((ml * u + u * nl) * 4 * 2);
+  p.fma_insts = k * 8 * 8;   // K * MS * NS
+  p.int_insts = k / u * 16;
+  p.ld_global_insts = (ml * u + u * nl) / 64 * (k / u) / 4;  // vectorized x4
+  p.st_global_insts = 64 / 4;
+  p.ld_shared_insts = k * (8 + 8) / 4;
+  p.st_shared_insts = (ml * u + u * nl) / 64 * (k / u) / 4;
+  p.bar_syncs = 2 * k / u;
+  p.ilp_arith = 8;
+  p.mlp_mem = 4;
+  p.ilp_smem = 4;
+  p.dram_read_bytes = (m * k + k * n) * 4;
+  p.requested_read_bytes = p.grid_blocks * (ml + nl) * k * 4;
+  p.dram_write_bytes = m * n * 4;
+  p.wave_unique_bytes_hint = (6 * ml + 32 * nl) * k * 4;
+  p.slice_working_set_bytes = (6 * ml + 32 * nl) * u * 4;
+  p.useful_flops = 2.0 * m * n * k;
+  p.dtype = DataType::F32;
+  return p;
+}
+
+TEST(PerfModel, HealthyKernelIsValidAndFast) {
+  const auto r = evaluate(gtx980ti(), square_gemm_profile());
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(r.seconds));
+  // A good square-matrix kernel should land in the vicinity of peak
+  // (the paper reports >90% of peak for cuBLAS on Maxwell).
+  EXPECT_GT(r.achieved_tflops, 0.5 * gtx980ti().peak_sp_tflops);
+}
+
+TEST(PerfModel, NeverExceedsDevicePeak) {
+  const auto& dev = gtx980ti();
+  const auto r = evaluate(dev, square_gemm_profile());
+  ASSERT_TRUE(r.valid);
+  // Advertised peak has ~4% headroom over cores*2*clock on this card; allow
+  // a hair of slack for the rounding in the descriptor.
+  EXPECT_LT(r.achieved_tflops, dev.peak_sp_tflops * 1.10);
+}
+
+TEST(PerfModel, EmptyLaunchInvalid) {
+  KernelProfile p;
+  const auto r = evaluate(gtx980ti(), p);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(PerfModel, OverBudgetKernelInvalid) {
+  KernelProfile p = square_gemm_profile();
+  p.smem_bytes_per_block = 1 << 20;  // 1 MiB: cannot launch
+  const auto r = evaluate(gtx980ti(), p);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.invalid_reason.find("smem"), std::string::npos);
+}
+
+TEST(PerfModel, MoreWavesTakeLonger) {
+  KernelProfile p = square_gemm_profile();
+  const auto r1 = evaluate(gtx980ti(), p);
+  p.grid_blocks *= 4;  // 4x the blocks, same per-block work
+  p.useful_flops *= 4;
+  p.requested_read_bytes *= 4;
+  const auto r4 = evaluate(gtx980ti(), p);
+  ASSERT_TRUE(r1.valid);
+  ASSERT_TRUE(r4.valid);
+  EXPECT_GT(r4.seconds, r1.seconds * 2.0);
+}
+
+TEST(PerfModel, LowOccupancyHurtsLatencyHiding) {
+  KernelProfile p = square_gemm_profile();
+  const auto good = evaluate(gtx980ti(), p);
+  KernelProfile q = p;
+  q.regs_per_thread = 255;          // crush occupancy
+  q.smem_bytes_per_block = 40960;   // and smem
+  q.ilp_arith = 1;                  // no ILP to compensate
+  q.ilp_smem = 1;
+  q.mlp_mem = 1;
+  const auto bad = evaluate(gtx980ti(), q);
+  ASSERT_TRUE(good.valid);
+  ASSERT_TRUE(bad.valid);
+  EXPECT_LT(bad.occ.occupancy, good.occ.occupancy);
+  EXPECT_GT(bad.seconds, good.seconds);
+}
+
+TEST(PerfModel, Fp64RunsSlowerThanFp32) {
+  KernelProfile p = square_gemm_profile();
+  const auto f32 = evaluate(tesla_p100(), p);
+  p.dtype = DataType::F64;
+  const auto f64 = evaluate(tesla_p100(), p);
+  ASSERT_TRUE(f32.valid);
+  ASSERT_TRUE(f64.valid);
+  EXPECT_GT(f64.seconds, f32.seconds * 1.5);
+}
+
+TEST(PerfModel, Fp16x2DoublesThroughputOnPascal) {
+  KernelProfile p = square_gemm_profile();
+  p.dtype = DataType::F16;
+  p.uses_fp16x2 = true;
+  p.fma_insts /= 2.0;  // pairing halves the instruction count
+  const auto paired = evaluate(tesla_p100(), p);
+  KernelProfile q = square_gemm_profile();
+  q.dtype = DataType::F16;
+  q.uses_fp16x2 = false;
+  const auto scalar = evaluate(tesla_p100(), q);
+  ASSERT_TRUE(paired.valid);
+  ASSERT_TRUE(scalar.valid);
+  EXPECT_GT(paired.achieved_tflops, scalar.achieved_tflops * 1.5);
+}
+
+TEST(PerfModel, AtomicsAreSlowerThanStores) {
+  KernelProfile p = square_gemm_profile();
+  const auto st = evaluate(gtx980ti(), p);
+  KernelProfile q = p;
+  q.atom_global_insts = q.st_global_insts * 64;  // force atomics to matter
+  q.st_global_insts = 0;
+  const auto at = evaluate(gtx980ti(), q);
+  ASSERT_TRUE(st.valid);
+  ASSERT_TRUE(at.valid);
+  EXPECT_GE(at.seconds, st.seconds);
+}
+
+TEST(PerfModel, BoundsOverheadScalesTime) {
+  KernelProfile p = square_gemm_profile();
+  const auto clean = evaluate(gtx980ti(), p);
+  p.bounds_overhead_factor = 1.18;
+  const auto branchy = evaluate(gtx980ti(), p);
+  ASSERT_TRUE(clean.valid);
+  ASSERT_TRUE(branchy.valid);
+  // Compute-bound kernel: the overhead shows up nearly in full.
+  EXPECT_NEAR(branchy.time_sm_s / clean.time_sm_s, 1.18, 0.02);
+}
+
+TEST(PerfModel, DramBoundKernelReportsDramBottleneck) {
+  KernelProfile p = square_gemm_profile();
+  p.fma_insts = 1;  // almost no compute; pure streaming
+  p.int_insts = 16;
+  p.ld_shared_insts = 0;
+  p.st_shared_insts = 0;
+  p.bar_syncs = 0;                // streaming kernels do not synchronize
+  p.mlp_mem = 16;                 // deep load pipelining
+  p.coalescing_efficiency = 0.5;  // strided: traffic doubles
+  const auto r = evaluate(gtx980ti(), p);
+  ASSERT_TRUE(r.valid);
+  EXPECT_STREQ(r.bottleneck, "dram");
+}
+
+TEST(PerfModel, L2HitRateWithinUnitInterval) {
+  const auto r = evaluate(gtx980ti(), square_gemm_profile());
+  ASSERT_TRUE(r.valid);
+  EXPECT_GE(r.l2_hit_rate, 0.0);
+  EXPECT_LE(r.l2_hit_rate, 1.0);
+  EXPECT_GE(r.dram_read_bytes, 0.0);
+}
+
+TEST(PerfModel, TimeMonotoneInWorkPerThread) {
+  // DESIGN.md invariant: time is monotone in K for a fixed tuning config.
+  const auto& dev = tesla_p100();
+  double prev = 0.0;
+  for (double k = 256; k <= 8192; k *= 2) {
+    KernelProfile p = square_gemm_profile();
+    const double scale = k / 2048.0;
+    p.fma_insts *= scale;
+    p.ld_shared_insts *= scale;
+    p.st_shared_insts *= scale;
+    p.ld_global_insts *= scale;
+    p.bar_syncs *= scale;
+    p.useful_flops *= scale;
+    p.dram_read_bytes *= scale;
+    p.requested_read_bytes *= scale;
+    const auto r = evaluate(dev, p);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.seconds, prev) << "k=" << k;
+    prev = r.seconds;
+  }
+}
+
+// -------------------------------------------------------------- simulator --
+TEST(Simulator, NoiseIsMultiplicativeAndBounded) {
+  Simulator sim(gtx980ti(), 0.05, 42);
+  const auto truth = sim.evaluate(square_gemm_profile());
+  ASSERT_TRUE(truth.valid);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto r = sim.launch(square_gemm_profile(), rep);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.seconds, truth.seconds * 0.7);
+    EXPECT_LT(r.seconds, truth.seconds * 1.4);
+  }
+}
+
+TEST(Simulator, DifferentRepsDrawDifferentNoise) {
+  Simulator sim(gtx980ti(), 0.05, 42);
+  const auto r0 = sim.launch(square_gemm_profile(), 0);
+  const auto r1 = sim.launch(square_gemm_profile(), 1);
+  ASSERT_TRUE(r0.valid);
+  ASSERT_TRUE(r1.valid);
+  EXPECT_NE(r0.seconds, r1.seconds);
+}
+
+TEST(Simulator, ZeroNoiseMatchesModelExactly) {
+  Simulator sim(gtx980ti(), 0.0, 42);
+  const auto truth = sim.evaluate(square_gemm_profile());
+  const auto r = sim.launch(square_gemm_profile());
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.seconds, truth.seconds);
+}
+
+TEST(Simulator, SameSeedSameMeasurement) {
+  Simulator a(gtx980ti(), 0.05, 7);
+  Simulator b(gtx980ti(), 0.05, 7);
+  for (int rep = 0; rep < 10; ++rep) {
+    EXPECT_DOUBLE_EQ(a.launch(square_gemm_profile(), rep).seconds,
+                     b.launch(square_gemm_profile(), rep).seconds);
+  }
+}
+
+TEST(Simulator, DifferentSeedsDifferentNoise) {
+  Simulator a(gtx980ti(), 0.05, 7);
+  Simulator b(gtx980ti(), 0.05, 8);
+  EXPECT_NE(a.launch(square_gemm_profile()).seconds, b.launch(square_gemm_profile()).seconds);
+}
+
+TEST(Simulator, MedianTightensNoise) {
+  Simulator sim(tesla_p100(), 0.10, 3);
+  const auto truth = sim.evaluate(square_gemm_profile());
+  const auto med = sim.launch_median(square_gemm_profile(), 15);
+  ASSERT_TRUE(med.valid);
+  EXPECT_NEAR(med.seconds / truth.seconds, 1.0, 0.08);
+}
+
+TEST(Simulator, InvalidKernelStaysInvalid) {
+  Simulator sim(gtx980ti());
+  KernelProfile p;  // empty
+  const auto r = sim.launch(p);
+  EXPECT_FALSE(r.valid);
+  EXPECT_FALSE(sim.launch_median(p, 5).valid);
+}
+
+}  // namespace
+}  // namespace isaac::gpusim

@@ -1,0 +1,205 @@
+// Unit + property tests for the CPU BLAS substrate.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace isaac::linalg {
+namespace {
+
+// ----------------------------------------------------------------- matrix --
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 2), 6.0f);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_FLOAT_EQ(t(2, 1), 6.0f);
+}
+
+TEST(Matrix, NormOfUnitVector) {
+  Matrix m{{3}, {4}};
+  EXPECT_NEAR(m.norm(), 5.0, 1e-6);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1, 2}}, b{{1, 5}};
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 3.0);
+  Matrix c(3, 1);
+  EXPECT_THROW(Matrix::max_abs_diff(a, c), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- gemm --
+struct GemmCase {
+  std::size_t m, n, k;
+  Trans ta, tb;
+  float alpha, beta;
+};
+
+class GemmMatchesReference : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmMatchesReference, BlockedEqualsNaive) {
+  const GemmCase& c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c.m * 131 + c.n * 17 + c.k));
+  Matrix a(c.ta == Trans::No ? c.m : c.k, c.ta == Trans::No ? c.k : c.m);
+  Matrix b(c.tb == Trans::No ? c.k : c.n, c.tb == Trans::No ? c.n : c.k);
+  a.randomize_uniform(rng, -1.0f, 1.0f);
+  b.randomize_uniform(rng, -1.0f, 1.0f);
+  Matrix c_blocked(c.m, c.n);
+  c_blocked.randomize_uniform(rng, -1.0f, 1.0f);
+  Matrix c_ref = c_blocked;
+
+  gemm(c.ta, c.tb, c.alpha, a, b, c.beta, c_blocked);
+  gemm_reference(c.ta, c.tb, c.alpha, a, b, c.beta, c_ref);
+
+  const double tol = 1e-3 * static_cast<double>(c.k + 1);
+  EXPECT_LT(Matrix::max_abs_diff(c_blocked, c_ref), tol)
+      << "m=" << c.m << " n=" << c.n << " k=" << c.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndLayouts, GemmMatchesReference,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::No, Trans::No, 1.0f, 0.0f},
+        GemmCase{5, 7, 3, Trans::No, Trans::No, 1.0f, 0.0f},
+        GemmCase{16, 16, 16, Trans::No, Trans::No, 1.0f, 1.0f},
+        GemmCase{33, 65, 17, Trans::No, Trans::No, 2.0f, 0.5f},
+        GemmCase{64, 1, 128, Trans::No, Trans::No, 1.0f, 0.0f},
+        GemmCase{1, 64, 128, Trans::No, Trans::No, 1.0f, 0.0f},
+        GemmCase{20, 30, 40, Trans::Yes, Trans::No, 1.0f, 0.0f},
+        GemmCase{20, 30, 40, Trans::No, Trans::Yes, 1.0f, 0.0f},
+        GemmCase{20, 30, 40, Trans::Yes, Trans::Yes, 1.0f, 0.0f},
+        GemmCase{37, 41, 53, Trans::Yes, Trans::Yes, -1.5f, 2.0f},
+        GemmCase{128, 96, 64, Trans::No, Trans::No, 1.0f, 0.0f},
+        GemmCase{100, 100, 1, Trans::No, Trans::No, 1.0f, 0.0f}));
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(gemm(Trans::No, Trans::No, 1.0f, a, b, 0.0f, c), std::invalid_argument);
+}
+
+TEST(Gemm, CShapeMismatchThrows) {
+  Matrix a(2, 3), b(3, 5), c(3, 5);
+  EXPECT_THROW(gemm(Trans::No, Trans::No, 1.0f, a, b, 0.0f, c), std::invalid_argument);
+}
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  Matrix a(2, 3), b(3, 2);
+  Matrix c{{1, 2}, {3, 4}};
+  a.fill(7.0f);
+  b.fill(9.0f);
+  gemm(Trans::No, Trans::No, 0.0f, a, b, 2.0f, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 8.0f);
+}
+
+TEST(Gemm, KZeroActsAsScale) {
+  Matrix a(2, 0), b(0, 2);
+  Matrix c{{1, 2}, {3, 4}};
+  gemm(Trans::No, Trans::No, 1.0f, a, b, 3.0f, c);
+  EXPECT_FLOAT_EQ(c(0, 1), 6.0f);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(99);
+  Matrix a(8, 8);
+  a.randomize_normal(rng, 0.0f, 1.0f);
+  Matrix eye(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) eye(i, i) = 1.0f;
+  Matrix c(8, 8);
+  gemm(Trans::No, Trans::No, 1.0f, a, eye, 0.0f, c);
+  EXPECT_LT(Matrix::max_abs_diff(a, c), 1e-6);
+}
+
+// Property: (A*B)^T == B^T * A^T, checked via the transpose flags.
+TEST(Gemm, TransposeIdentityProperty) {
+  Rng rng(123);
+  Matrix a(13, 9), b(9, 21);
+  a.randomize_uniform(rng, -1, 1);
+  b.randomize_uniform(rng, -1, 1);
+  Matrix ab(13, 21);
+  gemm(Trans::No, Trans::No, 1.0f, a, b, 0.0f, ab);
+  // C2 = op(B,T) * op(A,T) with operand matrices swapped = (A*B)^T.
+  Matrix c2(21, 13);
+  gemm(Trans::Yes, Trans::Yes, 1.0f, b, a, 0.0f, c2);
+  EXPECT_LT(Matrix::max_abs_diff(ab.transposed(), c2), 1e-4);
+}
+
+// ------------------------------------------------------------------- gemv --
+TEST(Gemv, MatchesGemm) {
+  Rng rng(7);
+  Matrix a(6, 4), x(4, 1), y(6, 1), y2(6, 1);
+  a.randomize_uniform(rng, -1, 1);
+  x.randomize_uniform(rng, -1, 1);
+  gemv(Trans::No, 1.0f, a, x, 0.0f, y);
+  gemm_reference(Trans::No, Trans::No, 1.0f, a, x, 0.0f, y2);
+  EXPECT_LT(Matrix::max_abs_diff(y, y2), 1e-5);
+}
+
+TEST(Gemv, RejectsNonVectors) {
+  Matrix a(3, 3), x(3, 2), y(3, 1);
+  EXPECT_THROW(gemv(Trans::No, 1.0f, a, x, 0.0f, y), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- elementwise
+TEST(Axpy, Accumulates) {
+  Matrix x{{1, 2}}, y{{10, 20}};
+  axpy(0.5f, x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 10.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 21.0f);
+}
+
+TEST(Axpy, ShapeMismatchThrows) {
+  Matrix x(1, 2), y(2, 1);
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+}
+
+TEST(Scale, Scales) {
+  Matrix x{{2, 4}};
+  scale(0.25f, x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.5f);
+}
+
+TEST(ColSums, SumsColumns) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  Matrix s = col_sums(a);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_FLOAT_EQ(s(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(s(0, 1), 12.0f);
+}
+
+TEST(AddRowVector, Broadcasts) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix r{{10, 20}};
+  add_row_vector(a, r);
+  EXPECT_FLOAT_EQ(a(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(a(1, 1), 24.0f);
+}
+
+TEST(AddRowVector, ShapeMismatchThrows) {
+  Matrix a(2, 2), r(1, 3);
+  EXPECT_THROW(add_row_vector(a, r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isaac::linalg

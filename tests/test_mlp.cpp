@@ -1,0 +1,290 @@
+// Tests for the MLP: forward/backward correctness (finite-difference gradient
+// check), optimizer behaviour, the preprocessing pipeline, training on
+// learnable synthetic targets, and the log-transform property the paper's
+// §5.2 rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "mlp/net.hpp"
+#include "mlp/regressor.hpp"
+#include "tuning/dataset.hpp"
+
+namespace isaac::mlp {
+namespace {
+
+using linalg::Matrix;
+
+MlpConfig tiny_config() {
+  MlpConfig cfg;
+  cfg.inputs = 4;
+  cfg.hidden = {8, 8};
+  cfg.seed = 42;
+  return cfg;
+}
+
+// --------------------------------------------------------------------- net --
+TEST(Mlp, OutputShape) {
+  Mlp net(tiny_config());
+  Matrix x(5, 4, 0.5f);
+  const Matrix y = net.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 1u);
+}
+
+TEST(Mlp, ParameterCount) {
+  Mlp net(tiny_config());
+  // 4*8 + 8 + 8*8 + 8 + 8*1 + 1 = 121
+  EXPECT_EQ(net.num_parameters(), 121u);
+}
+
+TEST(Mlp, ArityMismatchThrows) {
+  Mlp net(tiny_config());
+  Matrix x(5, 3);
+  EXPECT_THROW(net.forward(x), std::invalid_argument);
+}
+
+TEST(Mlp, DeterministicInit) {
+  Mlp a(tiny_config()), b(tiny_config());
+  EXPECT_EQ(Matrix::max_abs_diff(a.weights()[0], b.weights()[0]), 0.0);
+}
+
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  Mlp net(tiny_config());
+  Rng rng(7);
+  Matrix x(3, 4);
+  x.randomize_uniform(rng, -1, 1);
+  Matrix target(3, 1);
+  target.randomize_uniform(rng, -1, 1);
+
+  auto loss_value = [&]() {
+    const Matrix y = net.forward(x);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.rows(); ++i) {
+      const double d = y(i, 0) - target(i, 0);
+      loss += d * d;
+    }
+    return loss / static_cast<double>(y.rows());
+  };
+
+  // Analytic gradients.
+  Mlp::Cache cache;
+  const Matrix y = net.forward(x, &cache);
+  Matrix dLdy(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) {
+    dLdy(i, 0) = 2.0f * (y(i, 0) - target(i, 0)) / 3.0f;
+  }
+  std::vector<Matrix> dW, db;
+  net.backward(cache, dLdy, dW, db);
+
+  // Spot-check several weights in each layer with central differences.
+  const float eps = 1e-3f;
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    for (std::size_t idx : {std::size_t{0}, net.weights()[l].size() / 2}) {
+      float& w = net.weights()[l].data()[idx];
+      const float orig = w;
+      w = orig + eps;
+      const double up = loss_value();
+      w = orig - eps;
+      const double down = loss_value();
+      w = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(dW[l].data()[idx], numeric, 5e-2 * std::max(1.0, std::abs(numeric)))
+          << "layer " << l << " idx " << idx;
+    }
+    // And one bias per layer.
+    float& bval = net.biases()[l].data()[0];
+    const float orig = bval;
+    bval = orig + eps;
+    const double up = loss_value();
+    bval = orig - eps;
+    const double down = loss_value();
+    bval = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(db[l].data()[0], numeric, 5e-2 * std::max(1.0, std::abs(numeric)));
+  }
+}
+
+TEST(Adam, ReducesQuadraticLoss) {
+  // Minimize ||w - 3||^2 for a single 1x1 "weight matrix".
+  Matrix w(1, 1, 0.0f);
+  Adam adam(0.1);
+  for (int i = 0; i < 300; ++i) {
+    Matrix g(1, 1, 2.0f * (w(0, 0) - 3.0f));
+    adam.step({&w}, {&g});
+  }
+  EXPECT_NEAR(w(0, 0), 3.0f, 0.05f);
+}
+
+TEST(Adam, ShapeMismatchThrows) {
+  Matrix w(2, 2), g(1, 1);
+  Adam adam;
+  EXPECT_THROW(adam.step({&w}, {&g}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ scaler --
+TEST(Scaler, StandardizesToZeroMeanUnitVar) {
+  std::vector<std::vector<double>> rows{{1, 10}, {3, 30}, {5, 50}};
+  Scaler s;
+  s.fit(rows);
+  std::vector<double> r{3, 30};
+  s.apply(r);
+  EXPECT_NEAR(r[0], 0.0, 1e-12);
+  EXPECT_NEAR(r[1], 0.0, 1e-12);
+  std::vector<double> hi{5, 50};
+  s.apply(hi);
+  EXPECT_GT(hi[0], 0.9);
+}
+
+TEST(Scaler, ConstantFeaturePassesThrough) {
+  std::vector<std::vector<double>> rows{{7, 1}, {7, 2}, {7, 3}};
+  Scaler s;
+  s.fit(rows);
+  std::vector<double> r{7, 2};
+  EXPECT_NO_THROW(s.apply(r));
+  EXPECT_NEAR(r[0], 0.0, 1e-12);
+}
+
+// --------------------------------------------------------------- regressor --
+
+/// Synthetic dataset with a multiplicative performance-like law:
+///   y = c * x0^a * x1^b / x2  (+ lognormal noise)
+/// — linear in log space, so the log transform should make it easy and its
+/// absence should hurt, mirroring the paper's §5.2 observation.
+tuning::Dataset synthetic_dataset(std::size_t n, double noise_sigma, std::uint64_t seed) {
+  tuning::Dataset data;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    tuning::Sample s;
+    s.x.assign(tuning::kNumFeatures, 1.0);
+    for (std::size_t f = 0; f < 6; ++f) {
+      s.x[f] = std::exp(rng.uniform(0.0, 6.0));  // 1 .. ~400
+    }
+    const double y = 50.0 * std::pow(s.x[0], 0.7) * std::pow(s.x[1], 0.4) / s.x[2];
+    s.y = y * rng.lognormal_factor(noise_sigma);
+    data.add(std::move(s));
+  }
+  return data;
+}
+
+TEST(Regressor, LearnsMultiplicativeLaw) {
+  auto data = synthetic_dataset(3000, 0.02, 1);
+  Rng rng(2);
+  data.shuffle(rng);
+  const auto [test, train_set] = data.split(500);
+
+  TrainConfig cfg;
+  cfg.net.hidden = {32, 32};
+  cfg.epochs = 40;
+  cfg.learning_rate = 3e-3;
+  const Regressor model = train(train_set, cfg);
+  const double mse = model.mse(test);
+  EXPECT_LT(mse, 0.05) << "validation MSE too high: " << mse;
+}
+
+TEST(Regressor, LogTransformBeatsRawFeatures) {
+  auto data = synthetic_dataset(2500, 0.02, 3);
+  Rng rng(4);
+  data.shuffle(rng);
+  const auto [test, train_set] = data.split(400);
+
+  TrainConfig with_log;
+  with_log.net.hidden = {32, 32};
+  with_log.epochs = 25;
+  with_log.learning_rate = 3e-3;
+  TrainConfig without_log = with_log;
+  without_log.log_features = false;
+
+  const double mse_log = train(train_set, with_log).mse(test);
+  const double mse_raw = train(train_set, without_log).mse(test);
+  EXPECT_LT(mse_log * 2.0, mse_raw)
+      << "log " << mse_log << " raw " << mse_raw;  // §5.2: the transform matters
+}
+
+TEST(Regressor, MoreDataHelps) {
+  // Fig. 5 property: validation MSE decreases with training-set size.
+  auto data = synthetic_dataset(4000, 0.05, 9);
+  Rng rng(10);
+  data.shuffle(rng);
+  const auto [test, rest] = data.split(500);
+
+  TrainConfig cfg;
+  cfg.net.hidden = {32, 32};
+  cfg.epochs = 25;
+  cfg.learning_rate = 3e-3;
+
+  const double mse_small = train(rest.take(250), cfg).mse(test);
+  const double mse_large = train(rest.take(3000), cfg).mse(test);
+  EXPECT_LT(mse_large, mse_small);
+}
+
+TEST(Regressor, PredictBatchMatchesScalar) {
+  auto data = synthetic_dataset(800, 0.02, 5);
+  TrainConfig cfg;
+  cfg.net.hidden = {16};
+  cfg.epochs = 10;
+  const Regressor model = train(data, cfg);
+
+  std::vector<std::vector<double>> rows{data[0].x, data[1].x, data[2].x};
+  const auto batch = model.predict_gflops_batch(rows);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(batch[i], model.predict_gflops(rows[i]), 1e-6 * std::abs(batch[i]));
+  }
+}
+
+TEST(Regressor, PredictionsArePositive) {
+  auto data = synthetic_dataset(500, 0.1, 6);
+  TrainConfig cfg;
+  cfg.net.hidden = {16};
+  cfg.epochs = 8;
+  const Regressor model = train(data, cfg);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GT(model.predict_gflops(data[static_cast<std::size_t>(i)].x), 0.0);
+  }
+}
+
+TEST(Regressor, SaveLoadRoundTrip) {
+  auto data = synthetic_dataset(600, 0.05, 7);
+  TrainConfig cfg;
+  cfg.net.hidden = {16, 8};
+  cfg.epochs = 6;
+  const Regressor model = train(data, cfg);
+
+  std::stringstream ss;
+  model.save(ss);
+  const Regressor back = Regressor::load(ss);
+
+  for (int i = 0; i < 10; ++i) {
+    const auto& x = data[static_cast<std::size_t>(i)].x;
+    EXPECT_NEAR(back.predict_gflops(x), model.predict_gflops(x),
+                1e-4 * std::abs(model.predict_gflops(x)));
+  }
+}
+
+TEST(Regressor, LoadRejectsGarbage) {
+  std::stringstream ss("not a model at all");
+  EXPECT_THROW(Regressor::load(ss), std::runtime_error);
+}
+
+TEST(Regressor, EmptyTrainingThrows) {
+  tuning::Dataset empty;
+  EXPECT_THROW(train(empty, TrainConfig{}), std::invalid_argument);
+}
+
+TEST(Regressor, EpochCallbackReportsDecreasingLoss) {
+  auto data = synthetic_dataset(1500, 0.02, 8);
+  TrainConfig cfg;
+  cfg.net.hidden = {32};
+  cfg.epochs = 15;
+  cfg.learning_rate = 3e-3;
+  std::vector<double> losses;
+  cfg.on_epoch = [&](int, double loss) { losses.push_back(loss); };
+  train(data, cfg);
+  ASSERT_EQ(losses.size(), 15u);
+  EXPECT_LT(losses.back(), losses.front() * 0.5);
+}
+
+}  // namespace
+}  // namespace isaac::mlp

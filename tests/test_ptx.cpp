@@ -1,0 +1,439 @@
+// Tests for the PTX-like IR: builder, emitter, verifier, interpreter.
+// The interpreter tests build small kernels by hand (vector add, axpy with
+// predication, a reduction loop with a uniform backward branch, shared-memory
+// staging, atomics) — exactly the primitives the GEMM generator composes.
+#include <gtest/gtest.h>
+
+#include "ptx/builder.hpp"
+#include "ptx/emitter.hpp"
+#include "ptx/interpreter.hpp"
+#include "ptx/verifier.hpp"
+
+namespace isaac::ptx {
+namespace {
+
+// ---------------------------------------------------------------- builder --
+TEST(Builder, AllocatesDistinctRegisters) {
+  KernelBuilder b("k");
+  const Operand r0 = b.new_reg(Type::F32);
+  const Operand r1 = b.new_reg(Type::F32);
+  const Operand p0 = b.new_pred();
+  EXPECT_NE(r0.reg, r1.reg);
+  EXPECT_EQ(p0.type, Type::Pred);
+  Kernel k = b.take();
+  EXPECT_EQ(k.num_f32, 2);
+  EXPECT_EQ(k.num_pred, 1);
+}
+
+TEST(Builder, SharedAllocationIsAligned) {
+  KernelBuilder b("k");
+  const int a = b.alloc_shared(100);
+  const int c = b.alloc_shared(64);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(c % 16, 0);
+  EXPECT_GE(c, 100);
+  Kernel k = b.take();
+  EXPECT_GE(k.smem_bytes, 164);
+}
+
+TEST(Builder, TakeAppendsRet) {
+  KernelBuilder b("k");
+  b.mov_imm(Type::S32, 1);
+  Kernel k = b.take();
+  ASSERT_FALSE(k.body.empty());
+  EXPECT_EQ(k.body.back().op, Opcode::Ret);
+}
+
+TEST(Builder, TypeMismatchThrows) {
+  KernelBuilder b("k");
+  const Operand f = b.new_reg(Type::F32);
+  const Operand i = b.new_reg(Type::S32);
+  EXPECT_THROW(b.add(f, i), std::invalid_argument);
+}
+
+TEST(Builder, PredicateLastRequiresPredicateReg) {
+  KernelBuilder b("k");
+  const Operand f = b.mov_imm(Type::S32, 3);
+  EXPECT_THROW(b.predicate_last(f), std::invalid_argument);
+}
+
+TEST(Builder, LdParamOutOfRangeThrows) {
+  KernelBuilder b("k");
+  EXPECT_THROW(b.ld_param(Type::U64, 0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- emitter --
+TEST(Emitter, RendersRecognizablePtx) {
+  KernelBuilder b("saxpy");
+  const int pa = b.add_param("A");
+  const Operand base = b.ld_param(Type::U64, pa);
+  const Operand v = b.ld_global(Type::F32, base, 0);
+  const Operand two = b.mov_fimm(Type::F32, 2.0);
+  const Operand acc = b.mov_fimm(Type::F32, 0.0);
+  b.fma(acc, v, two, acc);
+  b.st_global(Type::F32, base, acc, 0);
+  Kernel k = b.take();
+  const std::string text = emit(k);
+  EXPECT_NE(text.find(".visible .entry saxpy"), std::string::npos);
+  EXPECT_NE(text.find("ld.global.f32"), std::string::npos);
+  EXPECT_NE(text.find("fma.rn.f32"), std::string::npos);
+  EXPECT_NE(text.find("st.global.f32"), std::string::npos);
+  EXPECT_NE(text.find(".reg .f32"), std::string::npos);
+}
+
+TEST(Emitter, PredicationSyntax) {
+  KernelBuilder b("k");
+  const int pa = b.add_param("A");
+  const Operand base = b.ld_param(Type::U64, pa);
+  const Operand tid = b.special(SReg::TidX);
+  const Operand p = b.setp(Cmp::Lt, tid, Operand::make_imm(2, Type::S32));
+  const Operand z = b.mov_fimm(Type::F32, 1.0);
+  b.st_global(Type::F32, base, z, 0, p.reg);
+  const std::string text = emit(b.take());
+  EXPECT_NE(text.find("@%p0 st.global.f32"), std::string::npos);
+}
+
+TEST(Emitter, ModuleHeaderAndSharedDecl) {
+  KernelBuilder b("k");
+  b.alloc_shared(256);
+  b.mov_imm(Type::S32, 0);
+  Module m;
+  m.target = "sm_52";
+  m.kernels.push_back(b.take());
+  const std::string text = emit(m);
+  EXPECT_NE(text.find(".target sm_52"), std::string::npos);
+  EXPECT_NE(text.find(".shared .align 16 .b8"), std::string::npos);
+  EXPECT_NE(text.find(".address_size 64"), std::string::npos);
+}
+
+// --------------------------------------------------------------- verifier --
+TEST(Verifier, AcceptsWellFormedKernel) {
+  KernelBuilder b("ok");
+  const int pa = b.add_param("A");
+  const Operand base = b.ld_param(Type::U64, pa);
+  const Operand v = b.ld_global(Type::F32, base, 0);
+  b.st_global(Type::F32, base, v, 4);
+  const auto r = verify(b.take());
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(Verifier, CatchesUndefinedLabel) {
+  KernelBuilder b("bad");
+  b.bra("NOWHERE");
+  const auto r = verify(b.take());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("undefined label"), std::string::npos);
+}
+
+TEST(Verifier, CatchesDuplicateLabel) {
+  KernelBuilder b("bad");
+  b.label("L");
+  b.label("L");
+  const auto r = verify(b.take());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Verifier, CatchesPredicatedBarrier) {
+  KernelBuilder b("bad");
+  const Operand tid = b.special(SReg::TidX);
+  const Operand p = b.setp(Cmp::Lt, tid, Operand::make_imm(1, Type::S32));
+  b.bar_sync();
+  b.predicate_last(p);
+  const auto r = verify(b.take());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("divergent"), std::string::npos);
+}
+
+TEST(Verifier, CatchesRegisterOutOfRange) {
+  KernelBuilder b("bad");
+  Kernel k = b.take();
+  Instruction inst;
+  inst.op = Opcode::Mov;
+  inst.type = Type::F32;
+  inst.dst = {Operand::make_reg(Type::F32, 5)};  // never allocated
+  inst.src = {Operand::make_fimm(1.0, Type::F32)};
+  k.body.insert(k.body.begin(), inst);
+  const auto r = verify(k);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Verifier, CatchesFmaOnIntegers) {
+  KernelBuilder b("bad");
+  Kernel k = b.take();
+  Instruction inst;
+  inst.op = Opcode::Fma;
+  inst.type = Type::S32;
+  inst.dst = {Operand::make_reg(Type::S32, 0)};
+  inst.src = {Operand::make_imm(1), Operand::make_imm(2), Operand::make_imm(3)};
+  k.num_s32 = 1;
+  k.body.insert(k.body.begin(), inst);
+  const auto r = verify(k);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("fma on non-float"), std::string::npos);
+}
+
+TEST(Verifier, CatchesMissingRet) {
+  Kernel k;
+  k.name = "k";
+  Instruction inst;
+  inst.op = Opcode::Bar;
+  k.body.push_back(inst);
+  const auto r = verify(k);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("ret"), std::string::npos);
+}
+
+// ------------------------------------------------------------ interpreter --
+
+// Kernel: C[tid + ctaid*ntid] = A[...] + B[...]  (grid-strided vector add)
+Kernel build_vector_add() {
+  KernelBuilder b("vadd");
+  const int pa = b.add_param("A");
+  const int pb = b.add_param("B");
+  const int pc = b.add_param("C");
+  const Operand a = b.ld_param(Type::U64, pa);
+  const Operand bb = b.ld_param(Type::U64, pb);
+  const Operand c = b.ld_param(Type::U64, pc);
+  const Operand tid = b.special(SReg::TidX);
+  const Operand ctaid = b.special(SReg::CtaIdX);
+  const Operand ntid = b.special(SReg::NTidX);
+  const Operand gid = b.mad(ctaid, ntid, tid);
+  const Operand off = b.mul(gid, Operand::make_imm(4, Type::S32));
+  const Operand off64 = b.cvt_u64(off);
+  const Operand av = b.ld_global(Type::F32, b.add(a, off64));
+  const Operand bv = b.ld_global(Type::F32, b.add(bb, off64));
+  const Operand sum = b.add(av, bv);
+  b.st_global(Type::F32, b.add(c, off64), sum);
+  return b.take();
+}
+
+TEST(Interpreter, VectorAdd) {
+  Kernel k = build_vector_add();
+  ASSERT_TRUE(verify(k).ok) << verify(k).summary();
+
+  GlobalMemory mem;
+  const std::size_t n = 64;
+  const auto pa = mem.alloc(n * 4);
+  const auto pb = mem.alloc(n * 4);
+  const auto pc = mem.alloc(n * 4);
+  std::vector<float> va(n), vb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    va[i] = static_cast<float>(i);
+    vb[i] = 100.0f + static_cast<float>(i);
+  }
+  mem.write_f32(pa, va);
+  mem.write_f32(pb, vb);
+
+  LaunchDims dims;
+  dims.grid_x = 4;
+  dims.block_x = 16;
+  const auto r = run(k, dims, {pa, pb, pc}, mem);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  const auto out = mem.read_f32(pc, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(out[i], 100.0f + 2.0f * static_cast<float>(i));
+  }
+  EXPECT_EQ(r.stats.global_stores, n);
+  EXPECT_EQ(r.stats.global_loads, 2 * n);
+}
+
+// Predicated store: only even tids write. Exercises @!p as well.
+TEST(Interpreter, PredicatedStores) {
+  KernelBuilder b("pred");
+  const int pc = b.add_param("C");
+  const Operand c = b.ld_param(Type::U64, pc);
+  const Operand tid = b.special(SReg::TidX);
+  const Operand rem2 = b.rem(tid, Operand::make_imm(2, Type::S32));
+  const Operand is_odd = b.setp(Cmp::Eq, rem2, Operand::make_imm(1, Type::S32));
+  const Operand off64 = b.cvt_u64(b.mul(tid, Operand::make_imm(4, Type::S32)));
+  const Operand addr = b.add(c, off64);
+  const Operand one = b.mov_fimm(Type::F32, 1.0);
+  const Operand two = b.mov_fimm(Type::F32, 2.0);
+  b.st_global(Type::F32, addr, one, 0, is_odd.reg, /*negate=*/true);  // @!p: even
+  b.st_global(Type::F32, addr, two, 0, is_odd.reg, /*negate=*/false);  // @p: odd
+  Kernel k = b.take();
+  ASSERT_TRUE(verify(k).ok);
+
+  GlobalMemory mem;
+  const auto c_addr = mem.alloc(8 * 4);
+  LaunchDims dims;
+  dims.block_x = 8;
+  const auto r = run(k, dims, {c_addr}, mem);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto out = mem.read_f32(c_addr, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(out[i], i % 2 == 0 ? 1.0f : 2.0f);
+}
+
+// Uniform loop: acc = sum of X[0..K); single thread per block, loop with
+// backward branch — the reduction-loop skeleton of the GEMM kernel.
+TEST(Interpreter, UniformReductionLoop) {
+  KernelBuilder b("loop");
+  const int px = b.add_param("X");
+  const int py = b.add_param("Y");
+  const int pk = b.add_param("K", /*is_pointer=*/false);
+  const Operand x = b.ld_param(Type::U64, px);
+  const Operand y = b.ld_param(Type::U64, py);
+  const Operand kparam = b.ld_param(Type::U64, pk);
+  const Operand k32 = b.cvt(Type::S32, kparam);
+  const Operand i = b.mov_imm(Type::S32, 0);
+  const Operand acc = b.mov_fimm(Type::F32, 0.0);
+  const Operand one = b.mov_fimm(Type::F32, 1.0);
+  const Operand cursor = b.new_reg(Type::U64);
+  b.mov(cursor, x);
+  b.label("LOOP");
+  const Operand v = b.ld_global(Type::F32, cursor);
+  b.fma(acc, v, one, acc);
+  b.mov(cursor, b.add(cursor, Operand::make_imm(4, Type::U64)));
+  b.mov(i, b.add(i, Operand::make_imm(1, Type::S32)));
+  const Operand more = b.setp(Cmp::Lt, i, k32);
+  b.bra("LOOP", more.reg);
+  b.st_global(Type::F32, y, acc);
+  Kernel k = b.take();
+  ASSERT_TRUE(verify(k).ok) << verify(k).summary();
+
+  GlobalMemory mem;
+  const int K = 37;
+  const auto px_addr = mem.alloc(K * 4);
+  const auto py_addr = mem.alloc(4);
+  std::vector<float> vx(K);
+  float expect = 0;
+  for (int j = 0; j < K; ++j) {
+    vx[j] = static_cast<float>(j) * 0.5f;
+    expect += vx[j];
+  }
+  mem.write_f32(px_addr, vx);
+  LaunchDims dims;  // 1 block, 1 thread
+  const auto r = run(k, dims, {px_addr, py_addr, static_cast<std::uint64_t>(K)}, mem);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FLOAT_EQ(mem.read_f32(py_addr, 1)[0], expect);
+}
+
+// Shared-memory staging with barrier: thread t writes smem[t], reads
+// smem[(t+1) % n] after a barrier — order inverted without the barrier.
+TEST(Interpreter, SharedMemoryRoundTripWithBarrier) {
+  KernelBuilder b("smem");
+  const int pc = b.add_param("C");
+  const int smem_base = b.alloc_shared(16 * 4);
+  const Operand c = b.ld_param(Type::U64, pc);
+  const Operand tid = b.special(SReg::TidX);
+  const Operand my_off = b.mad(tid, Operand::make_imm(4, Type::S32),
+                               Operand::make_imm(smem_base, Type::S32));
+  const Operand tidf = b.cvt(Type::F32, tid);
+  b.st_shared(Type::F32, my_off, tidf);
+  b.bar_sync();
+  const Operand next = b.rem(b.add(tid, Operand::make_imm(1, Type::S32)),
+                             Operand::make_imm(16, Type::S32));
+  const Operand next_off = b.mad(next, Operand::make_imm(4, Type::S32),
+                                 Operand::make_imm(smem_base, Type::S32));
+  const Operand v = b.ld_shared(Type::F32, next_off);
+  const Operand out_off = b.cvt_u64(b.mul(tid, Operand::make_imm(4, Type::S32)));
+  b.st_global(Type::F32, b.add(c, out_off), v);
+  Kernel k = b.take();
+  ASSERT_TRUE(verify(k).ok);
+
+  GlobalMemory mem;
+  const auto c_addr = mem.alloc(16 * 4);
+  LaunchDims dims;
+  dims.block_x = 16;
+  const auto r = run(k, dims, {c_addr}, mem);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto out = mem.read_f32(c_addr, 16);
+  for (int t = 0; t < 16; ++t) EXPECT_FLOAT_EQ(out[t], static_cast<float>((t + 1) % 16));
+  EXPECT_EQ(r.stats.barriers, 1u);
+}
+
+// Atomic accumulation across blocks: each of 8 blocks' 4 threads adds 1.0
+// into a single cell — the K_G-split epilogue primitive.
+TEST(Interpreter, AtomicAddAcrossBlocks) {
+  KernelBuilder b("atom");
+  const int pc = b.add_param("C");
+  const Operand c = b.ld_param(Type::U64, pc);
+  const Operand one = b.mov_fimm(Type::F32, 1.0);
+  b.atom_add(Type::F32, c, one, 0);
+  Kernel k = b.take();
+  ASSERT_TRUE(verify(k).ok);
+
+  GlobalMemory mem;
+  const auto c_addr = mem.alloc(4);
+  LaunchDims dims;
+  dims.grid_x = 8;
+  dims.block_x = 4;
+  const auto r = run(k, dims, {c_addr}, mem);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FLOAT_EQ(mem.read_f32(c_addr, 1)[0], 32.0f);
+}
+
+TEST(Interpreter, NonUniformBranchIsAnError) {
+  KernelBuilder b("diverge");
+  const Operand tid = b.special(SReg::TidX);
+  const Operand p = b.setp(Cmp::Lt, tid, Operand::make_imm(1, Type::S32));
+  b.label("L");
+  b.bra("L", p.reg);  // only thread 0 would loop: non-uniform
+  Kernel k = b.take();
+  GlobalMemory mem;
+  LaunchDims dims;
+  dims.block_x = 2;
+  const auto r = run(k, dims, {}, mem);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("non-uniform"), std::string::npos);
+}
+
+TEST(Interpreter, RunawayLoopIsCaught) {
+  KernelBuilder b("forever");
+  const Operand t = b.mov_imm(Type::S32, 0);
+  b.label("L");
+  b.mov(t, b.add(t, Operand::make_imm(1, Type::S32)));
+  const Operand p = b.setp(Cmp::Ge, t, Operand::make_imm(0, Type::S32));  // always true
+  b.bra("L", p.reg);
+  Kernel k = b.take();
+  GlobalMemory mem;
+  LaunchDims dims;
+  const auto r = run(k, dims, {}, mem, /*max_dynamic_insts=*/10000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(Interpreter, ParamCountMismatchReported) {
+  Kernel k = build_vector_add();
+  GlobalMemory mem;
+  LaunchDims dims;
+  const auto r = run(k, dims, {0}, mem);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Interpreter, OutOfBoundsGlobalAccessReported) {
+  KernelBuilder b("oob");
+  const int pc = b.add_param("C");
+  const Operand c = b.ld_param(Type::U64, pc);
+  const Operand v = b.mov_fimm(Type::F32, 1.0);
+  b.st_global(Type::F32, c, v, 1 << 20);
+  Kernel k = b.take();
+  GlobalMemory mem;
+  const auto addr = mem.alloc(16);
+  LaunchDims dims;
+  const auto r = run(k, dims, {addr}, mem);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("outside"), std::string::npos);
+}
+
+TEST(Interpreter, F64Arithmetic) {
+  KernelBuilder b("dadd");
+  const int pc = b.add_param("C");
+  const Operand c = b.ld_param(Type::U64, pc);
+  const Operand x = b.mov_fimm(Type::F64, 1.25);
+  const Operand y = b.mov_fimm(Type::F64, 2.5);
+  const Operand acc = b.mov_fimm(Type::F64, 0.5);
+  b.fma(acc, x, y, acc);
+  b.st_global(Type::F64, c, acc);
+  Kernel k = b.take();
+  GlobalMemory mem;
+  const auto addr = mem.alloc(8);
+  LaunchDims dims;
+  const auto r = run(k, dims, {addr}, mem);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(mem.read_f64(addr, 1)[0], 1.25 * 2.5 + 0.5);
+}
+
+}  // namespace
+}  // namespace isaac::ptx

@@ -1,0 +1,307 @@
+// Tests for the tuning module: search spaces, the categorical generative
+// model (Dirichlet prior, acceptance behaviour — the machinery behind
+// Table 1), datasets, and the data collector.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "gpusim/device.hpp"
+#include "gpusim/simulator.hpp"
+#include "tuning/collector.hpp"
+#include "tuning/dataset.hpp"
+#include "tuning/generative.hpp"
+#include "tuning/search_space.hpp"
+
+namespace isaac::tuning {
+namespace {
+
+// ----------------------------------------------------------- search space --
+TEST(SearchSpace, GemmSizeIsDomainProduct) {
+  const GemmSearchSpace space;
+  std::size_t expect = 1;
+  for (const auto& d : space.domains()) expect *= d.values.size();
+  EXPECT_EQ(space.size(), expect);
+  EXPECT_EQ(space.num_parameters(), 9u);
+}
+
+TEST(SearchSpace, Cap16RestrictsDomains) {
+  const GemmSearchSpace space(/*cap16=*/true);
+  for (const auto& d : space.domains()) {
+    for (int v : d.values) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, 16);
+    }
+  }
+  EXPECT_LT(space.size(), GemmSearchSpace(false).size());
+}
+
+TEST(SearchSpace, DecodeRoundTrip) {
+  const GemmSearchSpace space;
+  std::vector<std::size_t> choice(space.num_parameters(), 0);
+  const auto t = space.decode(choice);
+  EXPECT_EQ(t.ms, codegen::GemmTuning::candidates_ms().front());
+  EXPECT_EQ(t.kg, codegen::GemmTuning::candidates_kg().front());
+  EXPECT_THROW(space.decode({0, 1}), std::invalid_argument);
+}
+
+TEST(SearchSpace, UniformSamplesWithinDomains) {
+  const GemmSearchSpace space;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::size_t> choice;
+    const auto t = space.sample_uniform(rng, &choice);
+    ASSERT_EQ(choice.size(), space.num_parameters());
+    for (std::size_t d = 0; d < choice.size(); ++d) {
+      EXPECT_LT(choice[d], space.domains()[d].values.size());
+    }
+    EXPECT_GT(t.ms, 0);
+  }
+}
+
+TEST(SearchSpace, ForEachVisitsEveryPointOnce) {
+  // Cap to 16 keeps the space enumerable in-test.
+  const ConvSearchSpace capped(true);
+  // Count a small prefix space instead: restrict by early stop.
+  std::size_t count = 0;
+  const std::size_t limit = 100000;
+  capped.for_each([&](const codegen::ConvTuning&) { return ++count < limit; });
+  EXPECT_EQ(count, std::min(capped.size(), limit));
+}
+
+TEST(SearchSpace, GemmForEachMatchesSize) {
+  GemmSearchSpace space(true);
+  std::size_t count = 0;
+  space.for_each([&](const codegen::GemmTuning&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, space.size());
+}
+
+// -------------------------------------------------------- generative model --
+TEST(Generative, PriorMakesDistributionUniform) {
+  const GemmSearchSpace space;
+  CategoricalModel model(space.domains(), 100.0);
+  // Without fitting, every value of a parameter is equally likely.
+  const auto& d0 = space.domains()[0];
+  for (std::size_t v = 0; v < d0.values.size(); ++v) {
+    EXPECT_NEAR(model.probability(0, v), 1.0 / static_cast<double>(d0.values.size()), 1e-12);
+  }
+}
+
+TEST(Generative, ProbabilitiesSumToOne) {
+  const GemmSearchSpace space;
+  CategoricalModel model(space.domains(), 100.0);
+  Rng rng(1);
+  model.fit([](const std::vector<std::size_t>& c) { return c[0] % 2 == 0; }, 2000, rng);
+  for (std::size_t p = 0; p < space.num_parameters(); ++p) {
+    double total = 0.0;
+    for (std::size_t v = 0; v < space.domains()[p].values.size(); ++v) {
+      total += model.probability(p, v);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Generative, FitShiftsMassTowardAcceptedValues) {
+  const GemmSearchSpace space;
+  CategoricalModel model(space.domains(), 10.0);  // weak prior to see the shift
+  Rng rng(2);
+  // Accept only when parameter 0 takes its first value.
+  model.fit([](const std::vector<std::size_t>& c) { return c[0] == 0; }, 5000, rng);
+  EXPECT_GT(model.probability(0, 0), model.probability(0, 1) * 2.0);
+}
+
+TEST(Generative, DirichletPriorKeepsAllValuesReachable) {
+  const GemmSearchSpace space;
+  CategoricalModel model(space.domains(), 100.0);
+  Rng rng(3);
+  model.fit([](const std::vector<std::size_t>& c) { return c[0] == 0; }, 5000, rng);
+  // Even the "never accepted" values keep non-zero probability (paper: "we
+  // never really want any such probability to be exactly zero").
+  for (std::size_t v = 0; v < space.domains()[0].values.size(); ++v) {
+    EXPECT_GT(model.probability(0, v), 0.0);
+  }
+}
+
+TEST(Generative, ModelBeatsUniformOnRealLegality) {
+  // The headline property behind Table 1: after fitting, categorical
+  // sampling accepts at a much higher rate than uniform sampling.
+  const auto& dev = gpusim::gtx980ti();
+  codegen::GemmShape shape;
+  shape.m = shape.n = 1024;
+  shape.k = 4096;
+
+  const GemmSearchSpace space;
+  const auto legal = [&](const std::vector<std::size_t>& c) {
+    return codegen::validate(shape, space.decode(c), dev);
+  };
+
+  CategoricalModel model(space.domains(), 100.0);
+  Rng rng(11);
+  // The probing run must be long enough to overcome the α = 100 prior.
+  const auto uniform_stats = model.fit(legal, 30000, rng);
+
+  AcceptanceStats cat_stats;
+  std::vector<std::size_t> out;
+  for (int i = 0; i < 3000; ++i) {
+    model.sample_legal(legal, rng, out, cat_stats, 1);
+  }
+  EXPECT_GT(cat_stats.rate(), uniform_stats.rate() * 3.0)
+      << "categorical " << cat_stats.rate() << " vs uniform " << uniform_stats.rate();
+}
+
+TEST(Generative, SampleLegalRespectsAttemptCap) {
+  const GemmSearchSpace space;
+  CategoricalModel model(space.domains(), 100.0);
+  Rng rng(4);
+  std::vector<std::size_t> out;
+  AcceptanceStats stats;
+  const bool ok = model.sample_legal([](const std::vector<std::size_t>&) { return false; }, rng,
+                                     out, stats, 50);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(stats.attempted, 50u);
+  EXPECT_EQ(stats.accepted, 0u);
+}
+
+TEST(Generative, InvalidConstructionThrows) {
+  const GemmSearchSpace space;
+  EXPECT_THROW(CategoricalModel(space.domains(), 0.0), std::invalid_argument);
+  EXPECT_THROW(CategoricalModel({ParameterDomain{"empty", {}}}, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ dataset --
+TEST(Dataset, FeatureEncodingArityAndPositivity) {
+  codegen::GemmShape s;
+  s.m = 2560;
+  s.n = 16;
+  s.k = 2560;
+  s.trans_a = true;
+  const auto f = features(s, codegen::GemmTuning{});
+  EXPECT_EQ(f.size(), kNumFeatures);
+  for (double v : f) EXPECT_GE(v, 1.0);  // log-safe by construction
+  EXPECT_DOUBLE_EQ(f[0], 2560.0);
+  EXPECT_DOUBLE_EQ(f[4], 2.0);  // trans_a encoded as 2
+  EXPECT_DOUBLE_EQ(f[5], 1.0);
+}
+
+TEST(Dataset, ConvFeaturesUseImplicitGemm) {
+  const auto s = codegen::ConvShape::from_npq(16, 7, 7, 512, 512, 3, 3);
+  const auto f = features(s, codegen::ConvTuning{});
+  EXPECT_DOUBLE_EQ(f[0], static_cast<double>(s.npq()));
+  EXPECT_DOUBLE_EQ(f[1], 512.0);
+  EXPECT_DOUBLE_EQ(f[2], static_cast<double>(s.crs()));
+}
+
+TEST(Dataset, AddValidatesArity) {
+  Dataset d;
+  Sample s;
+  s.x = {1.0, 2.0};
+  EXPECT_THROW(d.add(s), std::invalid_argument);
+}
+
+TEST(Dataset, SplitAndTake) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    Sample s;
+    s.x.assign(kNumFeatures, static_cast<double>(i + 1));
+    s.y = i;
+    d.add(s);
+  }
+  const auto [head, tail] = d.split(3);
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_EQ(tail.size(), 7u);
+  EXPECT_EQ(d.take(4).size(), 4u);
+  EXPECT_EQ(d.take(100).size(), 10u);
+  EXPECT_THROW(d.split(11), std::invalid_argument);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset d;
+  for (int i = 0; i < 5; ++i) {
+    Sample s;
+    s.x.assign(kNumFeatures, 1.5 * (i + 1));
+    s.y = 100.0 + i;
+    d.add(s);
+  }
+  std::stringstream ss;
+  d.save_csv(ss);
+  const Dataset back = Dataset::load_csv(ss);
+  ASSERT_EQ(back.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].y, d[i].y);
+    EXPECT_DOUBLE_EQ(back[i].x[3], d[i].x[3]);
+  }
+}
+
+TEST(Dataset, ShuffleIsSeedDeterministic) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    Sample s;
+    s.x.assign(kNumFeatures, static_cast<double>(i));
+    s.y = i;
+    d.add(s);
+  }
+  Dataset d2 = d;
+  Rng r1(7), r2(7);
+  d.shuffle(r1);
+  d2.shuffle(r2);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_DOUBLE_EQ(d[i].y, d2[i].y);
+}
+
+// ---------------------------------------------------------------- collector --
+TEST(Collector, ProducesRequestedSamples) {
+  gpusim::Simulator sim(gpusim::gtx980ti(), 0.03, 99);
+  CollectorConfig cfg;
+  cfg.num_samples = 300;
+  cfg.probe_samples = 30000;
+  cfg.seed = 42;
+  const auto report = collect_gemm(sim, cfg);
+  EXPECT_GE(report.dataset.size(), 280u);  // a few rejection timeouts allowed
+  EXPECT_GT(report.generation.rate(), report.probe.rate());
+  for (const auto& s : report.dataset.samples()) {
+    EXPECT_GT(s.y, 0.0);             // positive GFLOPS
+    EXPECT_LT(s.y, 25000.0);         // below any sane peak
+    for (double v : s.x) EXPECT_GE(v, 1.0);
+  }
+}
+
+TEST(Collector, DeterministicAcrossRuns) {
+  gpusim::Simulator sim(gpusim::gtx980ti(), 0.03, 99);
+  CollectorConfig cfg;
+  cfg.num_samples = 100;
+  cfg.probe_samples = 5000;
+  cfg.seed = 7;
+  const auto r1 = collect_gemm(sim, cfg);
+  const auto r2 = collect_gemm(sim, cfg);
+  ASSERT_EQ(r1.dataset.size(), r2.dataset.size());
+  for (std::size_t i = 0; i < r1.dataset.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.dataset[i].y, r2.dataset[i].y);
+  }
+}
+
+TEST(Collector, ConvCollectionWorks) {
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 5);
+  CollectorConfig cfg;
+  cfg.num_samples = 150;
+  cfg.probe_samples = 20000;
+  const auto report = collect_conv(sim, cfg);
+  EXPECT_GE(report.dataset.size(), 120u);
+  for (const auto& s : report.dataset.samples()) EXPECT_GT(s.y, 0.0);
+}
+
+TEST(Collector, ShapeDistributionInBounds) {
+  CollectorConfig cfg;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = random_gemm_shape(cfg, rng);
+    EXPECT_GE(s.m, cfg.min_mn);
+    EXPECT_LE(s.m, cfg.max_mn);
+    EXPECT_GE(s.k, cfg.min_k);
+    EXPECT_LE(s.k, cfg.max_k);
+  }
+}
+
+}  // namespace
+}  // namespace isaac::tuning
