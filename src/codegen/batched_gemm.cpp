@@ -1,0 +1,56 @@
+#include "codegen/batched_gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace isaac::codegen {
+
+GemmShape BatchedGemmShape::equivalent_gemm() const noexcept {
+  GemmShape s = gemm;
+  s.n = gemm.n * std::max<std::int64_t>(batch, 1);
+  return s;
+}
+
+std::string BatchedGemmShape::to_string() const {
+  return strings::format("bgemm[%lldx %s]", static_cast<long long>(batch),
+                         gemm.to_string().c_str());
+}
+
+bool validate(const BatchedGemmShape& shape, const GemmTuning& tuning,
+              const gpusim::DeviceDescriptor& dev, std::string* why) {
+  if (shape.batch <= 0) {
+    if (why) *why = "batch must be positive";
+    return false;
+  }
+  if (tuning.kg != 1) {
+    if (why) *why = "batched GEMM requires KG == 1 (no grid-level reduction split)";
+    return false;
+  }
+  return validate(shape.gemm, tuning, dev, why);
+}
+
+gpusim::KernelProfile analyze(const BatchedGemmShape& shape, const GemmTuning& tuning,
+                              const gpusim::DeviceDescriptor& dev) {
+  std::string why;
+  if (!validate(shape, tuning, dev, &why)) {
+    throw std::invalid_argument("analyze: illegal batched config: " + why);
+  }
+
+  gpusim::KernelProfile p = analyze(shape.gemm, tuning, dev);
+  const double b = static_cast<double>(shape.batch);
+  p.label = shape.to_string() + " / " + tuning.to_string();
+  p.grid_blocks *= shape.batch;
+  p.useful_flops = shape.flops();
+  // Per-launch traffic scales with the batch; co-residency reuse hints stay
+  // per-batch (blocks of one batch share panels, cross-batch blocks share
+  // nothing), which leaves the L2 model conservative for tiny batch problems.
+  p.dram_read_bytes *= b;
+  p.requested_read_bytes *= b;
+  p.dram_write_bytes *= b;
+  p.extra_stream_bytes *= b;
+  return p;
+}
+
+}  // namespace isaac::codegen

@@ -1,0 +1,46 @@
+// Strided-batched GEMM — the deep-learning inference workload: many small
+// independent products C_i = A_i · B_i with identical (M, N, K) and constant
+// strides between consecutive batch operands (cuBLAS gemmStridedBatched).
+//
+// The kernel reuses the GEMM parameterization verbatim (the per-batch problem
+// is a GEMM), with one search-space restriction: the grid-level reduction
+// split KG is pinned to 1, because a batched launch already fills the grid
+// with independent blocks and a global-atomics split across K would serialize
+// the batch loop on the accumulation buffers. This is the "third operation"
+// that exercises the generic Operation layer end-to-end (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codegen/gemm.hpp"
+
+namespace isaac::codegen {
+
+struct BatchedGemmShape {
+  std::int64_t batch = 1;
+  GemmShape gemm;  // the per-batch problem
+
+  double flops() const noexcept { return static_cast<double>(batch) * gemm.flops(); }
+
+  /// Feature-space encoding: a batched product behaves like one GEMM whose N
+  /// extent is tiled `batch` times over the grid, so the regression model sees
+  /// (M, N·batch, K). The reduction depth and layouts are per-batch.
+  GemmShape equivalent_gemm() const noexcept;
+
+  std::string to_string() const;
+  bool operator==(const BatchedGemmShape&) const = default;
+};
+
+/// Legality: the per-batch GEMM must be legal and KG must be 1 (see header
+/// comment). `why` receives the violated constraint on failure.
+bool validate(const BatchedGemmShape& shape, const GemmTuning& tuning,
+              const gpusim::DeviceDescriptor& dev, std::string* why = nullptr);
+
+/// Static analysis: the per-batch GEMM profile with grid size and per-launch
+/// memory traffic scaled by the batch count. Per-thread instruction mix and
+/// per-block resources are batch-invariant.
+gpusim::KernelProfile analyze(const BatchedGemmShape& shape, const GemmTuning& tuning,
+                              const gpusim::DeviceDescriptor& dev);
+
+}  // namespace isaac::codegen

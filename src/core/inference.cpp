@@ -5,118 +5,53 @@
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
-#include "tuning/search_space.hpp"
 
 namespace isaac::core {
 
-namespace {
+/// One implementation for every operation: enumerate X̂ through the op's
+/// search space, filter to the legal space X with the op's validator, score
+/// the survivors in MLP batches, then re-time the top-k on the device. All
+/// op-specific behavior comes from OperationTraits<Op>; adding an operation
+/// adds no code here.
+template <typename Op>
+TuneResult<typename OperationTraits<Op>::Tuning> tune(
+    const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,
+    const gpusim::Simulator& sim, const InferenceConfig& config) {
+  using Traits = OperationTraits<Op>;
+  using Tuning = typename Traits::Tuning;
 
-/// Generic exhaustive inference over any (space, shape) pair.
-/// A coarse grid of "sane" configurations that subsampled searches must not
-/// lose: the region hand-tuned vendor kernels live in. With exhaustive
-/// enumeration (max_candidates == 0) these are visited anyway.
-std::vector<codegen::GemmTuning> gemm_seed_grid() {
-  std::vector<codegen::GemmTuning> seeds;
-  for (int ms : {4, 8}) {
-    for (int ns : {4, 8}) {
-      for (int ml : {16, 32, 64, 128}) {
-        for (int nl : {16, 32, 64, 128}) {
-          for (int u : {8, 16}) {
-            for (int kl : {1, 4}) {
-              for (int kg : {1, 4, 16}) {
-                codegen::GemmTuning t;
-                t.ms = ms;
-                t.ns = ns;
-                t.ml = ml;
-                t.nl = nl;
-                t.u = u;
-                t.ks = 1;
-                t.kl = kl;
-                t.kg = kg;
-                t.vec = 4;
-                seeds.push_back(t);
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-  return seeds;
-}
+  const auto& dev = sim.device();
+  const std::size_t max_candidates =
+      config.max_candidates > 0 ? config.max_candidates : Traits::default_max_candidates();
 
-std::vector<codegen::ConvTuning> conv_seed_grid() {
-  std::vector<codegen::ConvTuning> seeds;
-  for (int bk : {16, 32, 64, 128}) {
-    for (int bn : {4, 8, 16}) {
-      for (int bpq : {1, 2, 4}) {
-        for (int cl : {1, 4}) {
-          for (int cg : {1, 4, 16}) {
-            codegen::ConvTuning t;
-            t.bk = bk;
-            t.tk = std::min(8, bk / 2);
-            t.bn = bn;
-            t.tn = std::min(4, bn);
-            t.bp = bpq;
-            t.bq = bpq;
-            t.tp = 1;
-            t.tq = bpq >= 2 ? 2 : 1;
-            t.u = 8;
-            t.cl = cl;
-            t.cg = cg;
-            t.vec = 4;
-            seeds.push_back(t);
-          }
-        }
-      }
-    }
-  }
-  return seeds;
-}
-
-const std::vector<codegen::GemmTuning>& seed_grid(const codegen::GemmTuning*) {
-  static const auto seeds = gemm_seed_grid();
-  return seeds;
-}
-
-const std::vector<codegen::ConvTuning>& seed_grid(const codegen::ConvTuning*) {
-  static const auto seeds = conv_seed_grid();
-  return seeds;
-}
-
-template <typename Tuning, typename Space, typename Shape, typename ValidateFn,
-          typename AnalyzeFn, typename FeatureFn>
-TuneResult<Tuning> tune_impl(const Shape& shape, const mlp::Regressor& model,
-                             const gpusim::Simulator& sim, const InferenceConfig& config,
-                             const Space& space, const ValidateFn& validate_fn,
-                             const AnalyzeFn& analyze_fn, const FeatureFn& feature_fn) {
   TuneResult<Tuning> result;
 
   // ---- phase 1: enumerate the legal space -----------------------------------
+  const typename Traits::SearchSpace space;
   std::vector<Tuning> legal;
   std::size_t visited = 0;
   space.for_each([&](const Tuning& t) {
     ++visited;
-    if (validate_fn(shape, t)) legal.push_back(t);
+    if (Traits::validate(shape, t, dev)) legal.push_back(t);
     return true;
   });
   result.enumerated = visited;
   if (legal.empty()) {
     throw std::runtime_error("tune: no legal configuration for this shape/device");
   }
-  if (config.max_candidates > 0 && legal.size() > config.max_candidates) {
+  if (max_candidates > 0 && legal.size() > max_candidates) {
     // Deterministic striding keeps coverage spread across the space; the seed
     // grid is appended afterwards so subsampling can never lose the
     // well-known-good region.
     std::vector<Tuning> strided;
-    strided.reserve(config.max_candidates);
-    const double step = static_cast<double>(legal.size()) /
-                        static_cast<double>(config.max_candidates);
-    for (std::size_t i = 0; i < config.max_candidates; ++i) {
+    strided.reserve(max_candidates);
+    const double step =
+        static_cast<double>(legal.size()) / static_cast<double>(max_candidates);
+    for (std::size_t i = 0; i < max_candidates; ++i) {
       strided.push_back(legal[static_cast<std::size_t>(i * step)]);
     }
-    for (const Tuning& t : seed_grid(static_cast<const Tuning*>(nullptr))) {
-      if (validate_fn(shape, t)) strided.push_back(t);
+    for (const Tuning& t : Traits::seed_grid()) {
+      if (Traits::validate(shape, t, dev)) strided.push_back(t);
     }
     legal = std::move(strided);
   }
@@ -131,7 +66,7 @@ TuneResult<Tuning> tune_impl(const Shape& shape, const mlp::Regressor& model,
     const std::size_t end = std::min(legal.size(), begin + batch);
     std::vector<std::vector<double>> rows;
     rows.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) rows.push_back(feature_fn(shape, legal[i]));
+    for (std::size_t i = begin; i < end; ++i) rows.push_back(Traits::featurize(shape, legal[i]));
     const auto pred = model.predict_gflops_batch(rows);
     std::copy(pred.begin(), pred.end(), scores.begin() + static_cast<std::ptrdiff_t>(begin));
   });
@@ -139,8 +74,8 @@ TuneResult<Tuning> tune_impl(const Shape& shape, const mlp::Regressor& model,
   // ---- phase 3: top-k selection ----------------------------------------------
   std::vector<std::size_t> order(legal.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  const std::size_t k = std::min<std::size_t>(std::max<std::size_t>(config.top_k, 1),
-                                              order.size());
+  const std::size_t k =
+      std::min<std::size_t>(std::max<std::size_t>(config.top_k, 1), order.size());
   std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k), order.end(),
                     [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
 
@@ -150,7 +85,7 @@ TuneResult<Tuning> tune_impl(const Shape& shape, const mlp::Regressor& model,
     Candidate<Tuning> c;
     c.tuning = legal[order[i]];
     c.predicted_gflops = scores[order[i]];
-    const auto profile = analyze_fn(shape, c.tuning);
+    const auto profile = Traits::analyze(shape, c.tuning, dev);
     const auto timed = sim.launch_median(profile, config.reeval_reps);
     c.measured_gflops = timed.valid ? timed.tflops * 1000.0 : 0.0;
     result.top[i] = std::move(c);
@@ -160,48 +95,20 @@ TuneResult<Tuning> tune_impl(const Shape& shape, const mlp::Regressor& model,
             [](const auto& a, const auto& b) { return a.measured_gflops > b.measured_gflops; });
   result.best = result.top.front();
 
-  ISAAC_LOG_INFO() << "tuned: " << result.legal << " legal of " << result.enumerated
-                   << " enumerated; best measured " << result.best.measured_gflops
-                   << " GFLOPS (predicted " << result.best.predicted_gflops << ")";
+  ISAAC_LOG_INFO() << "tuned " << Traits::kind() << ": " << result.legal << " legal of "
+                   << result.enumerated << " enumerated; best measured "
+                   << result.best.measured_gflops << " GFLOPS (predicted "
+                   << result.best.predicted_gflops << ")";
   return result;
 }
 
-}  // namespace
-
-GemmTuneResult tune_gemm(const codegen::GemmShape& shape, const mlp::Regressor& model,
-                         const gpusim::Simulator& sim, const InferenceConfig& config) {
-  const tuning::GemmSearchSpace space;
-  const auto& dev = sim.device();
-  return tune_impl<codegen::GemmTuning>(
-      shape, model, sim, config, space,
-      [&](const codegen::GemmShape& s, const codegen::GemmTuning& t) {
-        return codegen::validate(s, t, dev);
-      },
-      [&](const codegen::GemmShape& s, const codegen::GemmTuning& t) {
-        return codegen::analyze(s, t, dev);
-      },
-      [](const codegen::GemmShape& s, const codegen::GemmTuning& t) {
-        return tuning::features(s, t);
-      });
-}
-
-ConvTuneResult tune_conv(const codegen::ConvShape& shape, const mlp::Regressor& model,
-                         const gpusim::Simulator& sim, const InferenceConfig& config) {
-  const tuning::ConvSearchSpace space;
-  const auto& dev = sim.device();
-  InferenceConfig cfg = config;
-  if (cfg.max_candidates == 0) cfg.max_candidates = 200000;  // conv X̂ is ~10^7
-  return tune_impl<codegen::ConvTuning>(
-      shape, model, sim, cfg, space,
-      [&](const codegen::ConvShape& s, const codegen::ConvTuning& t) {
-        return codegen::validate(s, t, dev);
-      },
-      [&](const codegen::ConvShape& s, const codegen::ConvTuning& t) {
-        return codegen::analyze(s, t, dev);
-      },
-      [](const codegen::ConvShape& s, const codegen::ConvTuning& t) {
-        return tuning::features(s, t);
-      });
-}
+template GemmTuneResult tune<GemmOp>(const codegen::GemmShape&, const mlp::Regressor&,
+                                     const gpusim::Simulator&, const InferenceConfig&);
+template ConvTuneResult tune<ConvOp>(const codegen::ConvShape&, const mlp::Regressor&,
+                                     const gpusim::Simulator&, const InferenceConfig&);
+template BatchedGemmTuneResult tune<BatchedGemmOp>(const codegen::BatchedGemmShape&,
+                                                   const mlp::Regressor&,
+                                                   const gpusim::Simulator&,
+                                                   const InferenceConfig&);
 
 }  // namespace isaac::core

@@ -6,14 +6,15 @@
 // specified search range", "highly parallelizable"), batched through the MLP,
 // and the top-k predicted configurations are re-timed on the device to
 // "smooth out the inherent noise of our predictive model".
+//
+// The whole pipeline is one templated tune<Op>() over OperationTraits<Op>
+// (core/operation.hpp); tune_gemm/tune_conv/tune_batched_gemm are aliases.
 #pragma once
 
 #include <cstddef>
-#include <optional>
 #include <vector>
 
-#include "codegen/conv.hpp"
-#include "codegen/gemm.hpp"
+#include "core/operation.hpp"
 #include "gpusim/simulator.hpp"
 #include "mlp/regressor.hpp"
 
@@ -24,8 +25,9 @@ struct InferenceConfig {
   std::size_t top_k = 100;
   /// Timing repetitions per re-timed candidate (median taken).
   int reeval_reps = 5;
-  /// Cap on legal candidates scored by the model (0 = unlimited). Applied by
-  /// deterministic striding, for spaces too large to enumerate densely.
+  /// Cap on legal candidates scored by the model (0 = the op's default from
+  /// OperationTraits<Op>::default_max_candidates()). Applied by deterministic
+  /// striding, for spaces too large to enumerate densely.
   std::size_t max_candidates = 0;
   /// MLP scoring batch.
   std::size_t batch = 8192;
@@ -48,14 +50,41 @@ struct TuneResult {
 
 using GemmTuneResult = TuneResult<codegen::GemmTuning>;
 using ConvTuneResult = TuneResult<codegen::ConvTuning>;
+using BatchedGemmTuneResult = TuneResult<codegen::GemmTuning>;
 
-/// Exhaustively optimize the model over GEMM tuning parameters for `shape`,
+/// Exhaustively optimize the model over Op's tuning parameters for `shape`,
 /// then re-time the top-k on `sim`. Throws std::runtime_error when no legal
-/// configuration exists.
-GemmTuneResult tune_gemm(const codegen::GemmShape& shape, const mlp::Regressor& model,
-                         const gpusim::Simulator& sim, const InferenceConfig& config = {});
+/// configuration exists. Thread-safe: shares only const state and the global
+/// thread pool.
+template <typename Op>
+TuneResult<typename OperationTraits<Op>::Tuning> tune(
+    const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,
+    const gpusim::Simulator& sim, const InferenceConfig& config = {});
 
-ConvTuneResult tune_conv(const codegen::ConvShape& shape, const mlp::Regressor& model,
-                         const gpusim::Simulator& sim, const InferenceConfig& config = {});
+extern template GemmTuneResult tune<GemmOp>(const codegen::GemmShape&, const mlp::Regressor&,
+                                            const gpusim::Simulator&, const InferenceConfig&);
+extern template ConvTuneResult tune<ConvOp>(const codegen::ConvShape&, const mlp::Regressor&,
+                                            const gpusim::Simulator&, const InferenceConfig&);
+extern template BatchedGemmTuneResult tune<BatchedGemmOp>(const codegen::BatchedGemmShape&,
+                                                          const mlp::Regressor&,
+                                                          const gpusim::Simulator&,
+                                                          const InferenceConfig&);
+
+inline GemmTuneResult tune_gemm(const codegen::GemmShape& shape, const mlp::Regressor& model,
+                                const gpusim::Simulator& sim, const InferenceConfig& config = {}) {
+  return tune<GemmOp>(shape, model, sim, config);
+}
+
+inline ConvTuneResult tune_conv(const codegen::ConvShape& shape, const mlp::Regressor& model,
+                                const gpusim::Simulator& sim, const InferenceConfig& config = {}) {
+  return tune<ConvOp>(shape, model, sim, config);
+}
+
+inline BatchedGemmTuneResult tune_batched_gemm(const codegen::BatchedGemmShape& shape,
+                                               const mlp::Regressor& model,
+                                               const gpusim::Simulator& sim,
+                                               const InferenceConfig& config = {}) {
+  return tune<BatchedGemmOp>(shape, model, sim, config);
+}
 
 }  // namespace isaac::core

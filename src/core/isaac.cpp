@@ -11,6 +11,11 @@ Context::Context(const gpusim::DeviceDescriptor& device, ContextOptions options)
       options_(std::move(options)),
       cache_(options_.cache_dir) {}
 
+Context::~Context() {
+  std::unique_lock<std::mutex> lock(warmup_mutex_);
+  warmup_cv_.wait(lock, [this] { return warmup_pending_ == 0; });
+}
+
 void Context::train_model(std::size_t samples, int epochs) {
   tuning::CollectorConfig cfg;
   cfg.num_samples = samples;
@@ -33,86 +38,6 @@ void Context::set_model(mlp::Regressor model) { model_.emplace(std::move(model))
 const mlp::Regressor& Context::model() const {
   if (!model_) throw std::logic_error("Context: no model trained or installed");
   return *model_;
-}
-
-GemmTuneResult Context::tune_gemm(const codegen::GemmShape& shape) {
-  return core::tune_gemm(shape, model(), sim_, options_.inference);
-}
-
-ConvTuneResult Context::tune_conv(const codegen::ConvShape& shape) {
-  return core::tune_conv(shape, model(), sim_, options_.inference);
-}
-
-codegen::GemmTuning Context::select_gemm(const codegen::GemmShape& shape, bool* from_cache) {
-  if (const auto cached = cache_.lookup_gemm(device().name, shape)) {
-    if (from_cache) *from_cache = true;
-    return *cached;
-  }
-  const auto result = tune_gemm(shape);
-  cache_.store_gemm(device().name, shape, result.best.tuning);
-  if (from_cache) *from_cache = false;
-  return result.best.tuning;
-}
-
-codegen::ConvTuning Context::select_conv(const codegen::ConvShape& shape, bool* from_cache) {
-  if (const auto cached = cache_.lookup_conv(device().name, shape)) {
-    if (from_cache) *from_cache = true;
-    return *cached;
-  }
-  const auto result = tune_conv(shape);
-  cache_.store_conv(device().name, shape, result.best.tuning);
-  if (from_cache) *from_cache = false;
-  return result.best.tuning;
-}
-
-namespace {
-
-template <typename T>
-GemmCallInfo run_gemm(Context& ctx, const gpusim::Simulator& sim,
-                      const codegen::GemmShape& shape, const codegen::GemmTuning& tuning,
-                      bool from_cache, T alpha, const T* a, std::int64_t lda, const T* b,
-                      std::int64_t ldb, T beta, T* c, std::int64_t ldc) {
-  (void)ctx;
-  GemmCallInfo info;
-  info.tuning = tuning;
-  info.from_cache = from_cache;
-  codegen::execute_gemm(shape, tuning, alpha, a, lda, b, ldb, beta, c, ldc);
-  const auto timing = sim.launch_median(codegen::analyze(shape, tuning, sim.device()), 3);
-  info.simulated_seconds = timing.seconds;
-  info.gflops = timing.tflops * 1000.0;
-  return info;
-}
-
-}  // namespace
-
-GemmCallInfo Context::gemm(const codegen::GemmShape& shape, float alpha, const float* a,
-                           std::int64_t lda, const float* b, std::int64_t ldb, float beta,
-                           float* c, std::int64_t ldc) {
-  bool from_cache = false;
-  const auto tuning = select_gemm(shape, &from_cache);
-  return run_gemm(*this, sim_, shape, tuning, from_cache, alpha, a, lda, b, ldb, beta, c, ldc);
-}
-
-GemmCallInfo Context::gemm(const codegen::GemmShape& shape, double alpha, const double* a,
-                           std::int64_t lda, const double* b, std::int64_t ldb, double beta,
-                           double* c, std::int64_t ldc) {
-  bool from_cache = false;
-  const auto tuning = select_gemm(shape, &from_cache);
-  return run_gemm(*this, sim_, shape, tuning, from_cache, alpha, a, lda, b, ldb, beta, c, ldc);
-}
-
-ConvCallInfo Context::conv(const codegen::ConvShape& shape, float alpha, const float* input,
-                           const float* filters, float beta, float* output) {
-  bool from_cache = false;
-  const auto tuning = select_conv(shape, &from_cache);
-  ConvCallInfo info;
-  info.tuning = tuning;
-  info.from_cache = from_cache;
-  codegen::execute_conv(shape, tuning, alpha, input, filters, beta, output);
-  const auto timing = sim_.launch_median(codegen::analyze(shape, tuning, sim_.device()), 3);
-  info.simulated_seconds = timing.seconds;
-  info.gflops = timing.tflops * 1000.0;
-  return info;
 }
 
 }  // namespace isaac::core

@@ -9,17 +9,28 @@
 //   isaac::codegen::GemmShape shape{...};
 //   auto info = ctx.gemm(shape, 1.0f, A, lda, B, ldb, 0.0f, C, ldc);
 //   // C now holds the product; info reports the selected kernel + timing.
+//
+// The Context is safe to share across threads: the profile cache is guarded
+// by a shared mutex, and concurrent misses on the same (device, shape)
+// coalesce into a single tuning run (single-flight) that the other callers
+// wait on. warmup() pre-tunes a shape list asynchronously on the thread pool.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
-#include "codegen/conv.hpp"
-#include "codegen/conv_executor.hpp"
-#include "codegen/gemm.hpp"
-#include "codegen/gemm_executor.hpp"
+#include "common/thread_pool.hpp"
 #include "core/inference.hpp"
+#include "core/operation.hpp"
 #include "core/profile_cache.hpp"
 #include "gpusim/simulator.hpp"
 #include "mlp/regressor.hpp"
@@ -35,23 +46,27 @@ struct ContextOptions {
 };
 
 /// What a tuned call reports back.
-struct GemmCallInfo {
-  codegen::GemmTuning tuning;      // selected kernel
-  double simulated_seconds = 0.0;  // device-model execution time
-  double gflops = 0.0;             // useful FLOPs / simulated time
-  bool from_cache = false;
+template <typename Op>
+struct CallInfo {
+  typename OperationTraits<Op>::Tuning tuning{};  // selected kernel
+  double simulated_seconds = 0.0;                 // device-model execution time
+  double gflops = 0.0;                            // useful FLOPs / simulated time
+  bool from_cache = false;  // true when the kernel was already tuned (by disk
+                            // cache, a previous call, or a concurrent tuner)
 };
 
-struct ConvCallInfo {
-  codegen::ConvTuning tuning;
-  double simulated_seconds = 0.0;
-  double gflops = 0.0;
-  bool from_cache = false;
-};
+using GemmCallInfo = CallInfo<GemmOp>;
+using ConvCallInfo = CallInfo<ConvOp>;
+using BatchedGemmCallInfo = CallInfo<BatchedGemmOp>;
 
 class Context {
  public:
   explicit Context(const gpusim::DeviceDescriptor& device, ContextOptions options = {});
+
+  /// Blocks until every outstanding warmup task has finished: warmup tasks
+  /// run on the global pool and reference this Context, so an abandoned
+  /// warmup future must not outlive it.
+  ~Context();
 
   const gpusim::DeviceDescriptor& device() const noexcept { return sim_.device(); }
   const gpusim::Simulator& simulator() const noexcept { return sim_; }
@@ -66,31 +81,213 @@ class Context {
   bool has_model() const noexcept { return model_.has_value(); }
   const mlp::Regressor& model() const;
 
-  /// Input-aware kernel selection (cached). Requires a model.
-  GemmTuneResult tune_gemm(const codegen::GemmShape& shape);
-  ConvTuneResult tune_conv(const codegen::ConvShape& shape);
+  /// Input-aware kernel selection (uncached; see run()/select() for the
+  /// cached path). Requires a model.
+  template <typename Op>
+  TuneResult<typename OperationTraits<Op>::Tuning> tune(
+      const typename OperationTraits<Op>::Shape& shape) {
+    return core::tune<Op>(shape, model(), sim_, options_.inference);
+  }
+  GemmTuneResult tune_gemm(const codegen::GemmShape& shape) { return tune<GemmOp>(shape); }
+  ConvTuneResult tune_conv(const codegen::ConvShape& shape) { return tune<ConvOp>(shape); }
+  BatchedGemmTuneResult tune_batched_gemm(const codegen::BatchedGemmShape& shape) {
+    return tune<BatchedGemmOp>(shape);
+  }
 
   /// Tune (or fetch from cache), execute the selected kernel functionally on
-  /// the host buffers, and report the simulated device timing.
+  /// the host buffers through the op's executor hook, and report the
+  /// simulated device timing. `args...` are forwarded to
+  /// OperationTraits<Op>::execute after (shape, tuning).
+  template <typename Op, typename... Args>
+  CallInfo<Op> run(const typename OperationTraits<Op>::Shape& shape, Args&&... args) {
+    CallInfo<Op> info;
+    info.tuning = select<Op>(shape, &info.from_cache);
+    OperationTraits<Op>::execute(shape, info.tuning, std::forward<Args>(args)...);
+    const auto timing =
+        sim_.launch_median(OperationTraits<Op>::analyze(shape, info.tuning, sim_.device()), 3);
+    info.simulated_seconds = timing.seconds;
+    info.gflops = timing.tflops * 1000.0;
+    return info;
+  }
+
   GemmCallInfo gemm(const codegen::GemmShape& shape, float alpha, const float* a,
                     std::int64_t lda, const float* b, std::int64_t ldb, float beta, float* c,
-                    std::int64_t ldc);
+                    std::int64_t ldc) {
+    return run<GemmOp>(shape, alpha, a, lda, b, ldb, beta, c, ldc);
+  }
   GemmCallInfo gemm(const codegen::GemmShape& shape, double alpha, const double* a,
                     std::int64_t lda, const double* b, std::int64_t ldb, double beta, double* c,
-                    std::int64_t ldc);
+                    std::int64_t ldc) {
+    return run<GemmOp>(shape, alpha, a, lda, b, ldb, beta, c, ldc);
+  }
   ConvCallInfo conv(const codegen::ConvShape& shape, float alpha, const float* input,
-                    const float* filters, float beta, float* output);
+                    const float* filters, float beta, float* output) {
+    return run<ConvOp>(shape, alpha, input, filters, beta, output);
+  }
+  BatchedGemmCallInfo batched_gemm(const codegen::BatchedGemmShape& shape, float alpha,
+                                   const float* a, std::int64_t lda, std::int64_t stride_a,
+                                   const float* b, std::int64_t ldb, std::int64_t stride_b,
+                                   float beta, float* c, std::int64_t ldc,
+                                   std::int64_t stride_c) {
+    return run<BatchedGemmOp>(shape, alpha, a, lda, stride_a, b, ldb, stride_b, beta, c, ldc,
+                              stride_c);
+  }
+  BatchedGemmCallInfo batched_gemm(const codegen::BatchedGemmShape& shape, double alpha,
+                                   const double* a, std::int64_t lda, std::int64_t stride_a,
+                                   const double* b, std::int64_t ldb, std::int64_t stride_b,
+                                   double beta, double* c, std::int64_t ldc,
+                                   std::int64_t stride_c) {
+    return run<BatchedGemmOp>(shape, alpha, a, lda, stride_a, b, ldb, stride_b, beta, c, ldc,
+                              stride_c);
+  }
+
+  /// Cached kernel selection with single-flight coalescing: a cache hit
+  /// returns immediately; on a miss, the first caller tunes while concurrent
+  /// callers for the same (device, shape) block on its result. `from_cache`
+  /// (optional) reports whether this caller avoided a tuning run.
+  template <typename Op>
+  typename OperationTraits<Op>::Tuning select(const typename OperationTraits<Op>::Shape& shape,
+                                              bool* from_cache = nullptr);
+
+  /// Pre-tune a list of shapes asynchronously on the global thread pool; the
+  /// returned future becomes ready when every shape is cached (exceptional if
+  /// any tuning failed). Dropping the future is safe: ~Context waits for
+  /// outstanding warmup tasks before tearing the Context down.
+  template <typename Op>
+  std::future<void> warmup(std::vector<typename OperationTraits<Op>::Shape> shapes);
+  std::future<void> warmup(std::vector<codegen::GemmShape> shapes) {
+    return warmup<GemmOp>(std::move(shapes));
+  }
+
+  /// Number of exhaustive tuning runs this Context has performed — with
+  /// single-flight dispatch this is exactly one per distinct cold shape, no
+  /// matter how many threads raced on it.
+  std::size_t tuning_runs() const noexcept { return tuning_runs_.load(); }
 
   ProfileCache& cache() noexcept { return cache_; }
 
  private:
-  codegen::GemmTuning select_gemm(const codegen::GemmShape& shape, bool* from_cache);
-  codegen::ConvTuning select_conv(const codegen::ConvShape& shape, bool* from_cache);
-
   gpusim::Simulator sim_;
   ContextOptions options_;
   std::optional<mlp::Regressor> model_;
   ProfileCache cache_;
+
+  // Single-flight state: key -> future completed once the key is in cache_.
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_future<void>> inflight_;
+  std::atomic<std::size_t> tuning_runs_{0};
+
+  // Outstanding warmup tasks (they capture `this`); ~Context waits on zero.
+  std::mutex warmup_mutex_;
+  std::condition_variable warmup_cv_;
+  std::size_t warmup_pending_ = 0;
 };
+
+template <typename Op>
+typename OperationTraits<Op>::Tuning Context::select(
+    const typename OperationTraits<Op>::Shape& shape, bool* from_cache) {
+  const std::string& dev = device().name;
+  if (const auto cached = cache_.lookup<Op>(dev, shape)) {
+    if (from_cache) *from_cache = true;
+    return *cached;
+  }
+
+  const std::string key = ProfileCache::key<Op>(dev, shape);
+  for (;;) {
+    std::promise<void> promise;
+    std::shared_future<void> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      // Re-check under the lock: a leader stores to cache before erasing its
+      // flight, so a miss here plus an absent flight really means cold.
+      if (const auto cached = cache_.lookup<Op>(dev, shape)) {
+        if (from_cache) *from_cache = true;
+        return *cached;
+      }
+      const auto it = inflight_.find(key);
+      if (it == inflight_.end()) {
+        flight = promise.get_future().share();
+        inflight_.emplace(key, flight);
+        leader = true;
+      } else {
+        flight = it->second;
+      }
+    }
+
+    if (leader) {
+      std::optional<typename OperationTraits<Op>::Tuning> winner;
+      std::exception_ptr error;
+      try {
+        const auto result = core::tune<Op>(shape, model(), sim_, options_.inference);
+        cache_.store<Op>(dev, shape, result.best.tuning);
+        tuning_runs_.fetch_add(1, std::memory_order_relaxed);
+        winner = result.best.tuning;
+        promise.set_value();
+      } catch (...) {
+        error = std::current_exception();
+        promise.set_exception(error);
+      }
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(key);
+      }
+      if (error) std::rethrow_exception(error);
+      if (from_cache) *from_cache = false;
+      return *winner;
+    }
+
+    flight.get();  // rethrows the leader's tuning failure
+    // The leader stored the result before completing the flight; loop back to
+    // pick it up from the cache (it can only be a hit now).
+  }
+}
+
+template <typename Op>
+std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shape> shapes) {
+  struct WarmupState {
+    std::atomic<std::size_t> remaining;
+    std::promise<void> done;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<WarmupState>();
+  auto future = state->done.get_future();
+  if (shapes.empty()) {
+    state->done.set_value();
+    return future;
+  }
+  state->remaining.store(shapes.size());
+  {
+    std::lock_guard<std::mutex> lock(warmup_mutex_);
+    warmup_pending_ += shapes.size();
+  }
+  for (auto& shape : shapes) {
+    ThreadPool::global().submit([this, state, shape = std::move(shape)] {
+      try {
+        select<Op>(shape);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (state->first_error) {
+          state->done.set_exception(state->first_error);
+        } else {
+          state->done.set_value();
+        }
+      }
+      // Last step, notify under the lock: a destructor waiting on
+      // warmup_pending_ == 0 cannot resume (and free `this`) until this
+      // task's unlock, after which the task touches nothing of `this`.
+      {
+        std::lock_guard<std::mutex> lock(warmup_mutex_);
+        --warmup_pending_;
+        warmup_cv_.notify_all();
+      }
+    });
+  }
+  return future;
+}
 
 }  // namespace isaac::core

@@ -1,0 +1,156 @@
+#include "core/operation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace isaac::core {
+
+namespace {
+
+/// Coarse grids of "sane" configurations that subsampled searches must not
+/// lose: the region hand-tuned vendor kernels live in. With exhaustive
+/// enumeration (max_candidates == 0) these are visited anyway.
+std::vector<codegen::GemmTuning> make_gemm_seed_grid() {
+  std::vector<codegen::GemmTuning> seeds;
+  for (int ms : {4, 8}) {
+    for (int ns : {4, 8}) {
+      for (int ml : {16, 32, 64, 128}) {
+        for (int nl : {16, 32, 64, 128}) {
+          for (int u : {8, 16}) {
+            for (int kl : {1, 4}) {
+              for (int kg : {1, 4, 16}) {
+                codegen::GemmTuning t;
+                t.ms = ms;
+                t.ns = ns;
+                t.ml = ml;
+                t.nl = nl;
+                t.u = u;
+                t.ks = 1;
+                t.kl = kl;
+                t.kg = kg;
+                t.vec = 4;
+                seeds.push_back(t);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return seeds;
+}
+
+std::vector<codegen::ConvTuning> make_conv_seed_grid() {
+  std::vector<codegen::ConvTuning> seeds;
+  for (int bk : {16, 32, 64, 128}) {
+    for (int bn : {4, 8, 16}) {
+      for (int bpq : {1, 2, 4}) {
+        for (int cl : {1, 4}) {
+          for (int cg : {1, 4, 16}) {
+            codegen::ConvTuning t;
+            t.bk = bk;
+            t.tk = std::min(8, bk / 2);
+            t.bn = bn;
+            t.tn = std::min(4, bn);
+            t.bp = bpq;
+            t.bq = bpq;
+            t.tp = 1;
+            t.tq = bpq >= 2 ? 2 : 1;
+            t.u = 8;
+            t.cl = cl;
+            t.cg = cg;
+            t.vec = 4;
+            seeds.push_back(t);
+          }
+        }
+      }
+    }
+  }
+  return seeds;
+}
+
+std::string gemm_shape_fields(const codegen::GemmShape& s) {
+  return strings::format("%lld|%lld|%lld|%s|%d|%d", static_cast<long long>(s.m),
+                         static_cast<long long>(s.n), static_cast<long long>(s.k),
+                         gpusim::dtype_name(s.dtype), s.trans_a ? 1 : 0, s.trans_b ? 1 : 0);
+}
+
+std::string encode_gemm(const codegen::GemmTuning& t) {
+  return strings::format("%d %d %d %d %d %d %d %d %d", t.ms, t.ns, t.ml, t.nl, t.u, t.ks, t.kl,
+                         t.kg, t.vec);
+}
+
+bool decode_gemm(const std::string& s, codegen::GemmTuning& t) {
+  std::istringstream is(s);
+  return static_cast<bool>(is >> t.ms >> t.ns >> t.ml >> t.nl >> t.u >> t.ks >> t.kl >> t.kg >>
+                           t.vec);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- GEMM --
+
+std::string OperationTraits<GemmOp>::shape_key(const Shape& s) {
+  return gemm_shape_fields(s);
+}
+
+std::string OperationTraits<GemmOp>::encode_tuning(const Tuning& t) { return encode_gemm(t); }
+
+bool OperationTraits<GemmOp>::decode_tuning(const std::string& text, Tuning& t) {
+  return decode_gemm(text, t);
+}
+
+const std::vector<codegen::GemmTuning>& OperationTraits<GemmOp>::seed_grid() {
+  static const auto seeds = make_gemm_seed_grid();
+  return seeds;
+}
+
+// ------------------------------------------------------------------- CONV --
+
+std::string OperationTraits<ConvOp>::shape_key(const Shape& s) {
+  return strings::format("%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%s",
+                         static_cast<long long>(s.n), static_cast<long long>(s.c),
+                         static_cast<long long>(s.h), static_cast<long long>(s.w),
+                         static_cast<long long>(s.k), static_cast<long long>(s.r),
+                         static_cast<long long>(s.s), static_cast<long long>(s.pad_h),
+                         static_cast<long long>(s.pad_w), static_cast<long long>(s.stride_h),
+                         static_cast<long long>(s.stride_w), gpusim::dtype_name(s.dtype));
+}
+
+std::string OperationTraits<ConvOp>::encode_tuning(const Tuning& t) {
+  return strings::format("%d %d %d %d %d %d %d %d %d %d %d %d %d", t.tk, t.tp, t.tq, t.tn, t.bk,
+                         t.bp, t.bq, t.bn, t.u, t.cs, t.cl, t.cg, t.vec);
+}
+
+bool OperationTraits<ConvOp>::decode_tuning(const std::string& text, Tuning& t) {
+  std::istringstream is(text);
+  return static_cast<bool>(is >> t.tk >> t.tp >> t.tq >> t.tn >> t.bk >> t.bp >> t.bq >> t.bn >>
+                           t.u >> t.cs >> t.cl >> t.cg >> t.vec);
+}
+
+const std::vector<codegen::ConvTuning>& OperationTraits<ConvOp>::seed_grid() {
+  static const auto seeds = make_conv_seed_grid();
+  return seeds;
+}
+
+// ---------------------------------------------------------------- BATCHED --
+
+std::string OperationTraits<BatchedGemmOp>::shape_key(const Shape& s) {
+  return strings::format("%lld|", static_cast<long long>(s.batch)) + gemm_shape_fields(s.gemm);
+}
+
+std::string OperationTraits<BatchedGemmOp>::encode_tuning(const Tuning& t) {
+  return encode_gemm(t);
+}
+
+bool OperationTraits<BatchedGemmOp>::decode_tuning(const std::string& text, Tuning& t) {
+  return decode_gemm(text, t);
+}
+
+const std::vector<codegen::GemmTuning>& OperationTraits<BatchedGemmOp>::seed_grid() {
+  return OperationTraits<GemmOp>::seed_grid();
+}
+
+}  // namespace isaac::core

@@ -1,0 +1,150 @@
+// The Operation abstraction: one trait class per tunable operation, so every
+// layer of the pipeline (data collection, runtime inference, the profile
+// cache, dispatch) is written once against OperationTraits<Op> instead of
+// per-op copies. See DESIGN.md for the full contract and a walkthrough of
+// adding a new operation.
+//
+// An OperationTraits<Op> specialization provides:
+//   Shape / Tuning / SearchSpace      — the op's input, config and X̂ types
+//   kind()                            — stable identifier ("gemm"), used in
+//                                       cache keys and on-disk records
+//   validate / analyze / featurize    — legality, lowering to KernelProfile,
+//                                       and the regression feature vector
+//   flops(shape)                      — useful FLOPs of one call
+//   shape_key / encode_tuning /
+//   decode_tuning                     — cache key derivation and the textual
+//                                       tuning codec for the profile cache
+//   seed_grid()                       — coarse always-tried configurations,
+//                                       appended when inference subsamples X̂
+//   default_max_candidates()          — per-op subsampling default (0 = none)
+//   execute(shape, tuning, args...)   — the functional executor hook
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codegen/batched_gemm.hpp"
+#include "codegen/batched_gemm_executor.hpp"
+#include "codegen/conv.hpp"
+#include "codegen/conv_executor.hpp"
+#include "codegen/gemm.hpp"
+#include "codegen/gemm_executor.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "tuning/dataset.hpp"
+#include "tuning/search_space.hpp"
+
+namespace isaac::core {
+
+/// Operation tags. Each names one tunable kernel family.
+struct GemmOp {};
+struct ConvOp {};
+struct BatchedGemmOp {};
+
+template <typename Op>
+struct OperationTraits;
+
+template <>
+struct OperationTraits<GemmOp> {
+  using Shape = codegen::GemmShape;
+  using Tuning = codegen::GemmTuning;
+  using SearchSpace = tuning::GemmSearchSpace;
+
+  static constexpr const char* kind() { return "gemm"; }
+
+  static bool validate(const Shape& s, const Tuning& t, const gpusim::DeviceDescriptor& dev,
+                       std::string* why = nullptr) {
+    return codegen::validate(s, t, dev, why);
+  }
+  static gpusim::KernelProfile analyze(const Shape& s, const Tuning& t,
+                                       const gpusim::DeviceDescriptor& dev) {
+    return codegen::analyze(s, t, dev);
+  }
+  static std::vector<double> featurize(const Shape& s, const Tuning& t) {
+    return tuning::features(s, t);
+  }
+  static double flops(const Shape& s) { return s.flops(); }
+
+  static std::string shape_key(const Shape& s);
+  static std::string encode_tuning(const Tuning& t);
+  static bool decode_tuning(const std::string& text, Tuning& t);
+  static const std::vector<Tuning>& seed_grid();
+  static constexpr std::size_t default_max_candidates() { return 0; }  // exhaustive
+
+  template <typename... Args>
+  static void execute(const Shape& s, const Tuning& t, Args&&... args) {
+    codegen::execute_gemm(s, t, std::forward<Args>(args)...);
+  }
+};
+
+template <>
+struct OperationTraits<ConvOp> {
+  using Shape = codegen::ConvShape;
+  using Tuning = codegen::ConvTuning;
+  using SearchSpace = tuning::ConvSearchSpace;
+
+  static constexpr const char* kind() { return "conv"; }
+
+  static bool validate(const Shape& s, const Tuning& t, const gpusim::DeviceDescriptor& dev,
+                       std::string* why = nullptr) {
+    return codegen::validate(s, t, dev, why);
+  }
+  static gpusim::KernelProfile analyze(const Shape& s, const Tuning& t,
+                                       const gpusim::DeviceDescriptor& dev) {
+    return codegen::analyze(s, t, dev);
+  }
+  static std::vector<double> featurize(const Shape& s, const Tuning& t) {
+    return tuning::features(s, t);
+  }
+  static double flops(const Shape& s) { return s.flops(); }
+
+  static std::string shape_key(const Shape& s);
+  static std::string encode_tuning(const Tuning& t);
+  static bool decode_tuning(const std::string& text, Tuning& t);
+  static const std::vector<Tuning>& seed_grid();
+  /// The conv X̂ is ~10^7; inference subsamples it by default.
+  static constexpr std::size_t default_max_candidates() { return 200000; }
+
+  template <typename... Args>
+  static void execute(const Shape& s, const Tuning& t, Args&&... args) {
+    codegen::execute_conv(s, t, std::forward<Args>(args)...);
+  }
+};
+
+template <>
+struct OperationTraits<BatchedGemmOp> {
+  using Shape = codegen::BatchedGemmShape;
+  using Tuning = codegen::GemmTuning;
+  using SearchSpace = tuning::BatchedGemmSearchSpace;
+
+  static constexpr const char* kind() { return "bgemm"; }
+
+  static bool validate(const Shape& s, const Tuning& t, const gpusim::DeviceDescriptor& dev,
+                       std::string* why = nullptr) {
+    return codegen::validate(s, t, dev, why);
+  }
+  static gpusim::KernelProfile analyze(const Shape& s, const Tuning& t,
+                                       const gpusim::DeviceDescriptor& dev) {
+    return codegen::analyze(s, t, dev);
+  }
+  static std::vector<double> featurize(const Shape& s, const Tuning& t) {
+    return tuning::features(s, t);
+  }
+  static double flops(const Shape& s) { return s.flops(); }
+
+  static std::string shape_key(const Shape& s);
+  static std::string encode_tuning(const Tuning& t);
+  static bool decode_tuning(const std::string& text, Tuning& t);
+  /// GEMM seeds with KG > 1 exist in the grid but fail batched validation, so
+  /// sharing the grid is safe.
+  static const std::vector<Tuning>& seed_grid();
+  static constexpr std::size_t default_max_candidates() { return 0; }
+
+  template <typename... Args>
+  static void execute(const Shape& s, const Tuning& t, Args&&... args) {
+    codegen::execute_batched_gemm(s, t, std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace isaac::core

@@ -2,35 +2,23 @@
 
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define ISAAC_HAVE_FLOCK 1
+#endif
 
 namespace isaac::core {
 
 namespace {
 
-std::string encode_gemm_tuning(const codegen::GemmTuning& t) {
-  return strings::format("%d %d %d %d %d %d %d %d %d", t.ms, t.ns, t.ml, t.nl, t.u, t.ks, t.kl,
-                         t.kg, t.vec);
-}
-
-bool decode_gemm_tuning(const std::string& s, codegen::GemmTuning& t) {
-  std::istringstream is(s);
-  return static_cast<bool>(is >> t.ms >> t.ns >> t.ml >> t.nl >> t.u >> t.ks >> t.kl >> t.kg >>
-                           t.vec);
-}
-
-std::string encode_conv_tuning(const codegen::ConvTuning& t) {
-  return strings::format("%d %d %d %d %d %d %d %d %d %d %d %d %d", t.tk, t.tp, t.tq, t.tn, t.bk,
-                         t.bp, t.bq, t.bn, t.u, t.cs, t.cl, t.cg, t.vec);
-}
-
-bool decode_conv_tuning(const std::string& s, codegen::ConvTuning& t) {
-  std::istringstream is(s);
-  return static_cast<bool>(is >> t.tk >> t.tp >> t.tq >> t.tn >> t.bk >> t.bp >> t.bq >> t.bn >>
-                           t.u >> t.cs >> t.cl >> t.cg >> t.vec);
+std::filesystem::path cache_file(const std::string& directory) {
+  return std::filesystem::path(directory) / "isaac_profiles.txt";
 }
 
 }  // namespace
@@ -39,84 +27,59 @@ ProfileCache::ProfileCache(std::string directory) : directory_(std::move(directo
   if (!directory_.empty()) load_from_disk();
 }
 
-std::string ProfileCache::gemm_key(const std::string& device, const codegen::GemmShape& s) {
-  return strings::format("%s|gemm|%lld|%lld|%lld|%s|%d|%d", device.c_str(),
-                         static_cast<long long>(s.m), static_cast<long long>(s.n),
-                         static_cast<long long>(s.k), gpusim::dtype_name(s.dtype),
-                         s.trans_a ? 1 : 0, s.trans_b ? 1 : 0);
-}
-
-std::string ProfileCache::conv_key(const std::string& device, const codegen::ConvShape& s) {
-  return strings::format("%s|conv|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%lld|%s",
-                         device.c_str(), static_cast<long long>(s.n),
-                         static_cast<long long>(s.c), static_cast<long long>(s.h),
-                         static_cast<long long>(s.w), static_cast<long long>(s.k),
-                         static_cast<long long>(s.r), static_cast<long long>(s.s),
-                         static_cast<long long>(s.pad_h), static_cast<long long>(s.pad_w),
-                         static_cast<long long>(s.stride_h), static_cast<long long>(s.stride_w),
-                         gpusim::dtype_name(s.dtype));
-}
-
-std::optional<codegen::GemmTuning> ProfileCache::lookup_gemm(
-    const std::string& device, const codegen::GemmShape& shape) const {
-  const auto it = gemm_.find(gemm_key(device, shape));
-  if (it == gemm_.end()) return std::nullopt;
-  return it->second;
-}
-
-void ProfileCache::store_gemm(const std::string& device, const codegen::GemmShape& shape,
-                              const codegen::GemmTuning& tuning) {
-  const std::string key = gemm_key(device, shape);
-  gemm_[key] = tuning;
-  append_to_disk("gemm", key, encode_gemm_tuning(tuning));
-}
-
-std::optional<codegen::ConvTuning> ProfileCache::lookup_conv(
-    const std::string& device, const codegen::ConvShape& shape) const {
-  const auto it = conv_.find(conv_key(device, shape));
-  if (it == conv_.end()) return std::nullopt;
-  return it->second;
-}
-
-void ProfileCache::store_conv(const std::string& device, const codegen::ConvShape& shape,
-                              const codegen::ConvTuning& tuning) {
-  const std::string key = conv_key(device, shape);
-  conv_[key] = tuning;
-  append_to_disk("conv", key, encode_conv_tuning(tuning));
-}
-
 void ProfileCache::load_from_disk() {
-  const std::filesystem::path file = std::filesystem::path(directory_) / "isaac_profiles.txt";
-  std::ifstream is(file);
+  std::ifstream is(cache_file(directory_));
   if (!is) return;
   std::string line;
   while (std::getline(is, line)) {
-    // Format: kind \t key \t value
+    // Format: key \t value. Older caches wrote kind \t key \t value; the kind
+    // column is redundant (the key embeds it) and is skipped when present.
     const auto parts = strings::split(line, '\t');
-    if (parts.size() != 3) continue;
-    if (parts[0] == "gemm") {
-      codegen::GemmTuning t;
-      if (decode_gemm_tuning(parts[2], t)) gemm_[parts[1]] = t;
-    } else if (parts[0] == "conv") {
-      codegen::ConvTuning t;
-      if (decode_conv_tuning(parts[2], t)) conv_[parts[1]] = t;
+    if (parts.size() == 2) {
+      entries_[parts[0]] = Entry{parts[1], {}};
+    } else if (parts.size() == 3) {
+      entries_[parts[1]] = Entry{parts[2], {}};
     }
   }
-  ISAAC_LOG_INFO() << "profile cache: loaded " << size() << " entries from " << file.string();
+  ISAAC_LOG_INFO() << "profile cache: loaded " << entries_.size() << " entries from "
+                   << cache_file(directory_).string();
 }
 
-void ProfileCache::append_to_disk(const std::string& kind, const std::string& key,
-                                  const std::string& value) const {
+void ProfileCache::append_to_disk(const std::string& key, const std::string& value) const {
   if (directory_.empty()) return;
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
-  const std::filesystem::path file = std::filesystem::path(directory_) / "isaac_profiles.txt";
+  const std::filesystem::path file = cache_file(directory_);
+  const std::string line = key + '\t' + value + '\n';
+#if ISAAC_HAVE_FLOCK
+  // Exclusive-flocked O_APPEND write of the whole line in one syscall, so
+  // concurrent writers (threads or separate processes) cannot tear it.
+  const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    ISAAC_LOG_WARN() << "profile cache: cannot write " << file.string();
+    return;
+  }
+  if (::flock(fd, LOCK_EX) == 0) {
+    std::size_t written = 0;
+    while (written < line.size()) {
+      const ssize_t n = ::write(fd, line.data() + written, line.size() - written);
+      if (n <= 0) {
+        ISAAC_LOG_WARN() << "profile cache: short write to " << file.string();
+        break;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    ::flock(fd, LOCK_UN);
+  }
+  ::close(fd);
+#else
   std::ofstream os(file, std::ios::app);
   if (!os) {
     ISAAC_LOG_WARN() << "profile cache: cannot write " << file.string();
     return;
   }
-  os << kind << '\t' << key << '\t' << value << '\n';
+  os << line;
+#endif
 }
 
 }  // namespace isaac::core

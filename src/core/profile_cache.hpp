@@ -1,16 +1,24 @@
 // Filesystem cache for tuned kernel selections (paper §6: "the resulting
 // predictions may be used directly ... cached on the filesystem").
 //
-// Keyed by (device, shape); stores the winning tuning vector as one line of
-// text so a process restart skips the few-second exhaustive inference.
+// One keyed store for every operation: entries are (key, encoded tuning)
+// strings, where the key is device|kind|shape-fields and the codec comes from
+// OperationTraits<Op>. Typed accessors lookup<Op>/store<Op> decode on the way
+// out, so adding an operation adds no code here.
+//
+// Thread-safe: lookups take a shared lock, stores an exclusive one. Disk
+// appends go through a flocked O_APPEND write so concurrent processes (or
+// threads racing in one process) cannot interleave half-written lines.
 #pragma once
 
+#include <any>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
-#include "codegen/conv.hpp"
-#include "codegen/gemm.hpp"
+#include "core/operation.hpp"
 
 namespace isaac::core {
 
@@ -19,30 +27,98 @@ class ProfileCache {
   /// directory == "" keeps the cache purely in memory.
   explicit ProfileCache(std::string directory = "");
 
+  template <typename Op>
+  std::optional<typename OperationTraits<Op>::Tuning> lookup(
+      const std::string& device, const typename OperationTraits<Op>::Shape& shape) const {
+    using Tuning = typename OperationTraits<Op>::Tuning;
+    const std::string k = key<Op>(device, shape);
+    std::string encoded;
+    {
+      std::shared_lock lock(mutex_);
+      const auto it = entries_.find(k);
+      if (it == entries_.end()) return std::nullopt;
+      // Hot path: entries decoded before (every store, or a prior lookup of a
+      // disk-loaded entry) return without touching the textual codec.
+      if (const auto* decoded = std::any_cast<Tuning>(&it->second.decoded)) return *decoded;
+      encoded = it->second.encoded;
+    }
+    Tuning tuning;
+    if (!OperationTraits<Op>::decode_tuning(encoded, tuning)) return std::nullopt;
+    {
+      // Memoize the decode for disk-loaded entries (paid once per entry).
+      std::unique_lock lock(mutex_);
+      const auto it = entries_.find(k);
+      if (it != entries_.end() && !it->second.decoded.has_value() &&
+          it->second.encoded == encoded) {
+        it->second.decoded = tuning;
+      }
+    }
+    return tuning;
+  }
+
+  template <typename Op>
+  void store(const std::string& device, const typename OperationTraits<Op>::Shape& shape,
+             const typename OperationTraits<Op>::Tuning& tuning) {
+    const std::string k = key<Op>(device, shape);
+    const std::string value = OperationTraits<Op>::encode_tuning(tuning);
+    // The disk append stays under the lock so the file's last-writer order
+    // matches the in-memory last-writer order when stores race on one key.
+    std::unique_lock lock(mutex_);
+    entries_[k] = Entry{value, tuning};
+    append_to_disk(k, value);
+  }
+
+  std::size_t size() const noexcept {
+    std::shared_lock lock(mutex_);
+    return entries_.size();
+  }
+
+  /// Key derivation, exposed for tests: device|kind|shape-fields.
+  template <typename Op>
+  static std::string key(const std::string& device,
+                         const typename OperationTraits<Op>::Shape& shape) {
+    return device + '|' + OperationTraits<Op>::kind() + '|' +
+           OperationTraits<Op>::shape_key(shape);
+  }
+
+  // Legacy per-op spellings.
   std::optional<codegen::GemmTuning> lookup_gemm(const std::string& device,
-                                                 const codegen::GemmShape& shape) const;
+                                                 const codegen::GemmShape& shape) const {
+    return lookup<GemmOp>(device, shape);
+  }
   void store_gemm(const std::string& device, const codegen::GemmShape& shape,
-                  const codegen::GemmTuning& tuning);
-
+                  const codegen::GemmTuning& tuning) {
+    store<GemmOp>(device, shape, tuning);
+  }
   std::optional<codegen::ConvTuning> lookup_conv(const std::string& device,
-                                                 const codegen::ConvShape& shape) const;
+                                                 const codegen::ConvShape& shape) const {
+    return lookup<ConvOp>(device, shape);
+  }
   void store_conv(const std::string& device, const codegen::ConvShape& shape,
-                  const codegen::ConvTuning& tuning);
-
-  std::size_t size() const noexcept { return gemm_.size() + conv_.size(); }
-
-  /// Key derivation, exposed for tests.
-  static std::string gemm_key(const std::string& device, const codegen::GemmShape& shape);
-  static std::string conv_key(const std::string& device, const codegen::ConvShape& shape);
+                  const codegen::ConvTuning& tuning) {
+    store<ConvOp>(device, shape, tuning);
+  }
+  static std::string gemm_key(const std::string& device, const codegen::GemmShape& shape) {
+    return key<GemmOp>(device, shape);
+  }
+  static std::string conv_key(const std::string& device, const codegen::ConvShape& shape) {
+    return key<ConvOp>(device, shape);
+  }
 
  private:
+  /// The encoded form is authoritative (it is what reaches disk); `decoded`
+  /// memoizes the parsed tuning so cached dispatch never re-parses text.
+  struct Entry {
+    std::string encoded;
+    std::any decoded;
+  };
+
   void load_from_disk();
-  void append_to_disk(const std::string& kind, const std::string& key,
-                      const std::string& value) const;
+  void append_to_disk(const std::string& key, const std::string& value) const;
 
   std::string directory_;
-  std::map<std::string, codegen::GemmTuning> gemm_;
-  std::map<std::string, codegen::ConvTuning> conv_;
+  mutable std::map<std::string, Entry> entries_;  // mutable: lookup memoizes decodes
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace isaac::core

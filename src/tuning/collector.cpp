@@ -1,11 +1,13 @@
 #include "tuning/collector.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <mutex>
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "core/operation.hpp"
 
 namespace isaac::tuning {
 
@@ -61,15 +63,34 @@ codegen::ConvShape random_conv_shape(const CollectorConfig& config, Rng& rng) {
   return s;
 }
 
+codegen::BatchedGemmShape random_batched_gemm_shape(const CollectorConfig& config, Rng& rng) {
+  // Deep-learning inference regime: many small per-batch problems. The batch
+  // count is log-uniform and the per-batch panel stays modest so the product
+  // of both matches the data sizes GEMM collection spans.
+  codegen::BatchedGemmShape s;
+  s.batch = log_uniform(rng, 1, 256);
+  CollectorConfig per_batch = config;
+  per_batch.max_mn = std::min<std::int64_t>(config.max_mn, 512);
+  per_batch.max_k = std::min<std::int64_t>(config.max_k, 4096);
+  s.gemm = random_gemm_shape(per_batch, rng);
+  return s;
+}
+
 namespace {
 
-/// Shared implementation: Kind selects the generator.
-template <typename ShapeT, typename SpaceT, typename ShapeFn, typename ValidateFn,
-          typename AnalyzeFn, typename FeatureFn>
+/// Shared implementation: the Op trait selects the generator; only the shape
+/// distribution (config-dependent) is passed in.
+template <typename Op, typename ShapeFn>
 CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfig& config,
-                              const SpaceT& space, const ShapeFn& shape_fn,
-                              const ValidateFn& validate_fn, const AnalyzeFn& analyze_fn,
-                              const FeatureFn& feature_fn) {
+                              const ShapeFn& shape_fn) {
+  using Traits = core::OperationTraits<Op>;
+  using ShapeT = typename Traits::Shape;
+  const typename Traits::SearchSpace space;
+  const auto& dev = sim.device();
+  const auto validate_fn = [&](const ShapeT& s, const typename Traits::Tuning& t) {
+    return Traits::validate(s, t, dev);
+  };
+
   CollectionReport report;
   Rng fit_rng(config.seed);
 
@@ -120,12 +141,12 @@ CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfi
         if (!validate_fn(shape, tuning)) continue;
         ++local_accepted;
 
-        const auto profile = analyze_fn(shape, tuning);
+        const auto profile = Traits::analyze(shape, tuning, dev);
         const auto result = local_sim.launch_median(profile, config.timing_reps);
         if (!result.valid) continue;
 
         Sample s;
-        s.x = feature_fn(shape, tuning);
+        s.x = Traits::featurize(shape, tuning);
         s.y = result.tflops * 1000.0;  // GFLOPS
         out.push_back(std::move(s));
         local_time += result.seconds * config.timing_reps;
@@ -154,31 +175,19 @@ CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfi
 }  // namespace
 
 CollectionReport collect_gemm(const gpusim::Simulator& sim, const CollectorConfig& config) {
-  const GemmSearchSpace space;
-  const auto& dev = sim.device();
-  return collect_impl<codegen::GemmShape>(
-      sim, config, space, [&](Rng& rng) { return random_gemm_shape(config, rng); },
-      [&](const codegen::GemmShape& s, const codegen::GemmTuning& t) {
-        return codegen::validate(s, t, dev);
-      },
-      [&](const codegen::GemmShape& s, const codegen::GemmTuning& t) {
-        return codegen::analyze(s, t, dev);
-      },
-      [](const codegen::GemmShape& s, const codegen::GemmTuning& t) { return features(s, t); });
+  return collect_impl<core::GemmOp>(sim, config,
+                                    [&](Rng& rng) { return random_gemm_shape(config, rng); });
 }
 
 CollectionReport collect_conv(const gpusim::Simulator& sim, const CollectorConfig& config) {
-  const ConvSearchSpace space;
-  const auto& dev = sim.device();
-  return collect_impl<codegen::ConvShape>(
-      sim, config, space, [&](Rng& rng) { return random_conv_shape(config, rng); },
-      [&](const codegen::ConvShape& s, const codegen::ConvTuning& t) {
-        return codegen::validate(s, t, dev);
-      },
-      [&](const codegen::ConvShape& s, const codegen::ConvTuning& t) {
-        return codegen::analyze(s, t, dev);
-      },
-      [](const codegen::ConvShape& s, const codegen::ConvTuning& t) { return features(s, t); });
+  return collect_impl<core::ConvOp>(sim, config,
+                                    [&](Rng& rng) { return random_conv_shape(config, rng); });
+}
+
+CollectionReport collect_batched_gemm(const gpusim::Simulator& sim,
+                                      const CollectorConfig& config) {
+  return collect_impl<core::BatchedGemmOp>(
+      sim, config, [&](Rng& rng) { return random_batched_gemm_shape(config, rng); });
 }
 
 }  // namespace isaac::tuning

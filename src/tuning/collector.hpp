@@ -47,9 +47,15 @@ CollectionReport collect_gemm(const gpusim::Simulator& sim, const CollectorConfi
 /// Collect CONV training data (features are the implicit-GEMM encoding).
 CollectionReport collect_conv(const gpusim::Simulator& sim, const CollectorConfig& config);
 
-/// Draw a random GEMM shape from the collector's shape distribution
+/// Collect strided-batched GEMM training data (features are the equivalent
+/// flattened-GEMM encoding, so one regression model serves all operations).
+CollectionReport collect_batched_gemm(const gpusim::Simulator& sim,
+                                      const CollectorConfig& config);
+
+/// Draw a random shape from the collector's shape distribution
 /// (exposed for tests and the Fig. 5 bench).
 codegen::GemmShape random_gemm_shape(const CollectorConfig& config, Rng& rng);
 codegen::ConvShape random_conv_shape(const CollectorConfig& config, Rng& rng);
+codegen::BatchedGemmShape random_batched_gemm_shape(const CollectorConfig& config, Rng& rng);
 
 }  // namespace isaac::tuning

@@ -30,6 +30,11 @@ std::vector<double> features(const codegen::ConvShape& shape, const codegen::Con
   return features(codegen::conv_gemm_shape(shape), codegen::conv_gemm_tuning(t));
 }
 
+std::vector<double> features(const codegen::BatchedGemmShape& shape,
+                             const codegen::GemmTuning& t) {
+  return features(shape.equivalent_gemm(), t);
+}
+
 void Dataset::add(Sample s) {
   if (s.x.size() != kNumFeatures) {
     throw std::invalid_argument(strings::format("Dataset::add: expected %zu features, got %zu",

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/batched_gemm.hpp"
 #include "codegen/conv.hpp"
 #include "codegen/gemm.hpp"
 #include "common/rng.hpp"
@@ -30,6 +31,8 @@ struct Sample {
 /// Feature encodings.
 std::vector<double> features(const codegen::GemmShape& shape, const codegen::GemmTuning& t);
 std::vector<double> features(const codegen::ConvShape& shape, const codegen::ConvTuning& t);
+std::vector<double> features(const codegen::BatchedGemmShape& shape,
+                             const codegen::GemmTuning& t);
 
 class Dataset {
  public:

@@ -94,6 +94,14 @@ void GemmSearchSpace::for_each(
                      [&](const std::vector<std::size_t>& choice) { return fn(decode(choice)); });
 }
 
+// --------------------------------------------------------------- BATCHED --
+
+BatchedGemmSearchSpace::BatchedGemmSearchSpace(bool cap16) : GemmSearchSpace(cap16) {
+  for (auto& d : domains_) {
+    if (d.name == "kg") d.values = {1};
+  }
+}
+
 // ------------------------------------------------------------------- CONV --
 
 ConvSearchSpace::ConvSearchSpace(bool cap16) {

@@ -48,8 +48,15 @@ class GemmSearchSpace {
   /// callback returns false to stop early.
   void for_each(const std::function<bool(const codegen::GemmTuning&)>& fn) const;
 
- private:
+ protected:
   std::vector<ParameterDomain> domains_;
+};
+
+/// The GEMM space with the grid-level reduction split pinned to KG = 1 — the
+/// legal space for strided-batched GEMM (see codegen/batched_gemm.hpp).
+class BatchedGemmSearchSpace : public GemmSearchSpace {
+ public:
+  explicit BatchedGemmSearchSpace(bool cap16 = false);
 };
 
 class ConvSearchSpace {

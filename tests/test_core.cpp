@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "codegen/batched_gemm_executor.hpp"
 #include "core/inference.hpp"
 #include "core/isaac.hpp"
 #include "core/profile_cache.hpp"
@@ -98,6 +99,22 @@ TEST(Inference, ConvTuningWorks) {
   EXPECT_TRUE(codegen::validate(shape, result.best.tuning, sim.device()));
 }
 
+TEST(Inference, BatchedGemmTuningRespectsConstraints) {
+  // The third operation goes through the same generic tune<Op>() as GEMM and
+  // CONV; its search space pins the grid-level reduction split to KG = 1.
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  codegen::BatchedGemmShape shape;
+  shape.batch = 32;
+  shape.gemm.m = 128;
+  shape.gemm.n = 64;
+  shape.gemm.k = 256;
+  const auto result = tune_batched_gemm(shape, shared_model(), sim, fast_inference());
+  EXPECT_GT(result.legal, 0u);
+  EXPECT_GT(result.best.measured_gflops, 0.0);
+  EXPECT_EQ(result.best.tuning.kg, 1);
+  EXPECT_TRUE(codegen::validate(shape, result.best.tuning, sim.device()));
+}
+
 TEST(Inference, ImpossibleShapeThrows) {
   gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
   codegen::GemmShape shape;
@@ -161,6 +178,45 @@ TEST(ProfileCache, KeysDistinguishDtypeAndLayout) {
   b = a;
   b.trans_b = true;
   EXPECT_NE(ProfileCache::gemm_key("d", a), ProfileCache::gemm_key("d", b));
+}
+
+TEST(ProfileCache, KeysDistinguishOperations) {
+  // A batched problem with batch == 1 matches its plain-GEMM twin shape but
+  // must not alias its cache entry (the legal spaces differ).
+  codegen::GemmShape g;
+  g.m = g.n = g.k = 128;
+  codegen::BatchedGemmShape bg;
+  bg.batch = 1;
+  bg.gemm = g;
+  EXPECT_NE(ProfileCache::key<GemmOp>("d", g), ProfileCache::key<BatchedGemmOp>("d", bg));
+
+  ProfileCache cache;
+  codegen::GemmTuning t;
+  t.ml = 32;
+  cache.store<GemmOp>("d", g, t);
+  EXPECT_FALSE(cache.lookup<BatchedGemmOp>("d", bg).has_value());
+}
+
+TEST(ProfileCache, BatchedGemmPersistsAcrossInstances) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "isaac_cache_bgemm_test").string();
+  std::filesystem::remove_all(dir);
+  codegen::BatchedGemmShape shape;
+  shape.batch = 16;
+  shape.gemm.m = 64;
+  shape.gemm.n = 32;
+  shape.gemm.k = 128;
+  {
+    ProfileCache cache(dir);
+    codegen::GemmTuning t;
+    t.nl = 16;
+    cache.store<BatchedGemmOp>("p100", shape, t);
+  }
+  ProfileCache reloaded(dir);
+  const auto got = reloaded.lookup<BatchedGemmOp>("p100", shape);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->nl, 16);
+  std::filesystem::remove_all(dir);
 }
 
 // ------------------------------------------------------------------ context --
@@ -229,6 +285,53 @@ TEST(Context, ConvEndToEnd) {
     max_diff = std::max(max_diff, static_cast<double>(std::abs(out[i] - out_ref[i])));
   }
   EXPECT_LT(max_diff, 1e-2);
+}
+
+TEST(Context, BatchedGemmEndToEndProducesCorrectNumerics) {
+  ContextOptions opts;
+  opts.inference = fast_inference();
+  Context ctx(gpusim::tesla_p100(), opts);
+  ctx.set_model(shared_model());
+
+  codegen::BatchedGemmShape shape;
+  shape.batch = 5;
+  shape.gemm.m = 48;
+  shape.gemm.n = 24;
+  shape.gemm.k = 96;
+  const std::int64_t stride_a = shape.gemm.m * shape.gemm.k;
+  const std::int64_t stride_b = shape.gemm.k * shape.gemm.n;
+  const std::int64_t stride_c = shape.gemm.m * shape.gemm.n;
+
+  Rng rng(8);
+  std::vector<float> a(static_cast<std::size_t>(stride_a * shape.batch));
+  std::vector<float> b(static_cast<std::size_t>(stride_b * shape.batch));
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> c(static_cast<std::size_t>(stride_c * shape.batch), 0.0f);
+  std::vector<float> c_ref = c;
+
+  const auto info = ctx.batched_gemm(shape, 1.0f, a.data(), shape.gemm.m, stride_a, b.data(),
+                                     shape.gemm.k, stride_b, 0.0f, c.data(), shape.gemm.m,
+                                     stride_c);
+  EXPECT_GT(info.gflops, 0.0);
+  EXPECT_FALSE(info.from_cache);
+  EXPECT_EQ(info.tuning.kg, 1);
+
+  codegen::reference_batched_gemm(shape, 1.0f, a.data(), shape.gemm.m, stride_a, b.data(),
+                                  shape.gemm.k, stride_b, 0.0f, c_ref.data(), shape.gemm.m,
+                                  stride_c);
+  double max_diff = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    max_diff = std::max(max_diff, static_cast<double>(std::abs(c[i] - c_ref[i])));
+  }
+  EXPECT_LT(max_diff, 1e-2);
+
+  // Second call hits the cache.
+  const auto info2 = ctx.batched_gemm(shape, 1.0f, a.data(), shape.gemm.m, stride_a, b.data(),
+                                      shape.gemm.k, stride_b, 0.0f, c.data(), shape.gemm.m,
+                                      stride_c);
+  EXPECT_TRUE(info2.from_cache);
+  EXPECT_EQ(info2.tuning, info.tuning);
 }
 
 TEST(Context, RequiresModel) {

@@ -69,6 +69,18 @@ TEST(SearchSpace, ForEachVisitsEveryPointOnce) {
   EXPECT_EQ(count, std::min(capped.size(), limit));
 }
 
+TEST(SearchSpace, BatchedGemmPinsGlobalSplit) {
+  const BatchedGemmSearchSpace space;
+  ASSERT_EQ(space.num_parameters(), GemmSearchSpace().num_parameters());
+  for (const auto& d : space.domains()) {
+    if (d.name == "kg") {
+      EXPECT_EQ(d.values, std::vector<int>{1});
+    }
+  }
+  EXPECT_EQ(space.size() * codegen::GemmTuning::candidates_kg().size(),
+            GemmSearchSpace().size());
+}
+
 TEST(SearchSpace, GemmForEachMatchesSize) {
   GemmSearchSpace space(true);
   std::size_t count = 0;
@@ -194,6 +206,19 @@ TEST(Dataset, ConvFeaturesUseImplicitGemm) {
   EXPECT_DOUBLE_EQ(f[2], static_cast<double>(s.crs()));
 }
 
+TEST(Dataset, BatchedGemmFeaturesFlattenBatchIntoN) {
+  codegen::BatchedGemmShape s;
+  s.batch = 32;
+  s.gemm.m = 64;
+  s.gemm.n = 16;
+  s.gemm.k = 256;
+  const auto f = features(s, codegen::GemmTuning{});
+  EXPECT_EQ(f.size(), kNumFeatures);
+  EXPECT_DOUBLE_EQ(f[0], 64.0);
+  EXPECT_DOUBLE_EQ(f[1], 32.0 * 16.0);
+  EXPECT_DOUBLE_EQ(f[2], 256.0);
+}
+
 TEST(Dataset, AddValidatesArity) {
   Dataset d;
   Sample s;
@@ -287,6 +312,16 @@ TEST(Collector, ConvCollectionWorks) {
   cfg.num_samples = 150;
   cfg.probe_samples = 20000;
   const auto report = collect_conv(sim, cfg);
+  EXPECT_GE(report.dataset.size(), 120u);
+  for (const auto& s : report.dataset.samples()) EXPECT_GT(s.y, 0.0);
+}
+
+TEST(Collector, BatchedGemmCollectionWorks) {
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 5);
+  CollectorConfig cfg;
+  cfg.num_samples = 150;
+  cfg.probe_samples = 20000;
+  const auto report = collect_batched_gemm(sim, cfg);
   EXPECT_GE(report.dataset.size(), 120u);
   for (const auto& s : report.dataset.samples()) EXPECT_GT(s.y, 0.0);
 }
