@@ -6,8 +6,18 @@
 // BM_DispatchThroughput adds the concurrency baseline for the "millions of
 // users" runtime: queries/sec through the shared Context's cached dispatch
 // path (shared-locked cache lookup + kernel execution) at 1, 4 and 8 threads.
+//
+// Search-subsystem sweep mode: `bench_inference_throughput --search_sweep`
+// skips google-benchmark and instead runs every registered search strategy
+// across an evaluation-budget ladder on a fixed shape set, emitting one JSON
+// line per (strategy, budget, shape) so the tuning-quality/cost trajectory
+// can be tracked and diffed across PRs.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "codegen/gemm.hpp"
@@ -16,6 +26,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/simulator.hpp"
 #include "mlp/regressor.hpp"
+#include "search/factory.hpp"
 #include "tuning/collector.hpp"
 #include "tuning/dataset.hpp"
 #include "tuning/search_space.hpp"
@@ -120,9 +131,9 @@ BENCHMARK(BM_ModelScoring)->Arg(256)->Arg(4096)->Arg(16384);
 
 core::ContextOptions dispatch_options() {
   core::ContextOptions opts;
-  opts.inference.top_k = 10;
-  opts.inference.reeval_reps = 3;
-  opts.inference.max_candidates = 8000;
+  opts.search.budget = 10;
+  opts.search.reeval_reps = 3;
+  opts.search.max_candidates = 8000;
   return opts;
 }
 
@@ -200,6 +211,71 @@ void BM_GenerativeSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerativeSampling);
 
+// ------------------------------------------------------------ search sweep --
+
+/// Strategy × budget sweep over a fixed shape set; one JSON object per line
+/// on stdout (everything else goes to stderr via the logger), so downstream
+/// tooling can `jq` the perf trajectory across PRs.
+int run_search_sweep() {
+  const gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 9);
+  const auto& m = model();
+
+  std::vector<codegen::GemmShape> shapes;
+  for (const auto& [mm, nn, kk] :
+       {std::array<std::int64_t, 3>{512, 512, 512}, std::array<std::int64_t, 3>{2560, 32, 2560},
+        std::array<std::int64_t, 3>{64, 64, 8192}}) {
+    codegen::GemmShape s;
+    s.m = mm;
+    s.n = nn;
+    s.k = kk;
+    shapes.push_back(s);
+  }
+
+  for (const auto& strategy : search::strategy_names()) {
+    for (const std::size_t budget : {16, 64, 256}) {
+      for (const auto& shape : shapes) {
+        search::SearchConfig cfg;
+        cfg.strategy = strategy;
+        cfg.budget = budget;
+        cfg.reeval_reps = 3;
+        cfg.max_candidates = 20000;
+        const auto t0 = std::chrono::steady_clock::now();
+        core::GemmTuneResult result;
+        try {
+          result = core::tune_gemm(shape, m, sim, cfg);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "[sweep] %s budget=%zu %s failed: %s\n", strategy.c_str(),
+                       budget, shape.to_string().c_str(), e.what());
+          continue;
+        }
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count();
+        std::printf(
+            "{\"bench\":\"search_sweep\",\"op\":\"gemm\",\"strategy\":\"%s\","
+            "\"budget\":%zu,\"shape\":\"%s\",\"best_gflops\":%.3f,"
+            "\"predicted_gflops\":%.3f,\"kernel\":\"%s\",\"measured\":%zu,"
+            "\"legal\":%zu,\"enumerated\":%zu,\"wall_ms\":%.3f}\n",
+            strategy.c_str(), budget, shape.to_string().c_str(),
+            result.best.measured_gflops, result.best.predicted_gflops,
+            result.best.tuning.to_string().c_str(), result.measured, result.legal,
+            result.enumerated, wall_ms);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--search_sweep") return run_search_sweep();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -156,12 +156,13 @@ mlp::Regressor conv_model(const gpusim::DeviceDescriptor& dev, const ModelOption
   });
 }
 
-core::InferenceConfig bench_inference(bool full) {
-  core::InferenceConfig cfg;
+search::SearchConfig bench_inference(bool full) {
+  search::SearchConfig cfg;
   // Re-timing candidates on the simulated device is cheap (microseconds per
   // launch), so the benches re-evaluate generously — the paper's "100 (or
   // more) fastest configurations".
-  cfg.top_k = full ? 400 : 200;
+  cfg.budget = full ? 400 : 200;
+  cfg.keep_top = cfg.budget;
   cfg.reeval_reps = 5;
   cfg.max_candidates = full ? 0 : 60000;
   return cfg;

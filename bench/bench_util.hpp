@@ -58,9 +58,9 @@ mlp::Regressor gemm_model(const gpusim::DeviceDescriptor& dev, const ModelOption
 /// Same for the CONV generator (trained on conv-collected data).
 mlp::Regressor conv_model(const gpusim::DeviceDescriptor& dev, const ModelOptions& opts = {});
 
-/// Default runtime-inference settings for benches (subsampled candidate set;
+/// Default runtime-search settings for benches (subsampled candidate set;
 /// pass --full to a bench to lift the cap).
-core::InferenceConfig bench_inference(bool full);
+search::SearchConfig bench_inference(bool full);
 
 // ---------------------------------------------------------------- output ----
 

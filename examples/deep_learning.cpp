@@ -20,8 +20,8 @@ int main() {
   using namespace isaac;
 
   core::ContextOptions options;
-  options.inference.max_candidates = 30000;
-  options.inference.top_k = 100;
+  options.search.max_candidates = 30000;
+  options.search.budget = 100;
   core::Context ctx(gpusim::tesla_p100(), options);
   std::printf("training the input-aware model...\n");
   ctx.train_model(/*samples=*/4000, /*epochs=*/10);

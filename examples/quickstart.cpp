@@ -18,8 +18,8 @@ int main() {
   // 1. A context on the Tesla P100 model. On real hardware this step would
   //    bind a CUDA device; here it binds the calibrated simulator.
   core::ContextOptions options;
-  options.inference.max_candidates = 30000;  // subsample the search for speed
-  options.inference.top_k = 100;
+  options.search.max_candidates = 30000;  // subsample the model ranking for speed
+  options.search.budget = 100;
   core::Context ctx(gpusim::tesla_p100(), options);
 
   // 2. Offline auto-tuning: benchmark a few thousand sampled kernels and fit

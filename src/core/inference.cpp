@@ -2,113 +2,121 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <unordered_set>
 
 #include "common/logging.hpp"
-#include "common/thread_pool.hpp"
+#include "search/driver.hpp"
+#include "search/factory.hpp"
 
 namespace isaac::core {
 
-/// One implementation for every operation: enumerate X̂ through the op's
-/// search space, filter to the legal space X with the op's validator, score
-/// the survivors in MLP batches, then re-time the top-k on the device. All
-/// op-specific behavior comes from OperationTraits<Op>; adding an operation
-/// adds no code here.
+namespace {
+
+/// Zero-valued fields fall back to the op's defaults; an empty strategy name
+/// means the op's default strategy.
+template <typename Op>
+search::SearchConfig resolve_config(const search::SearchConfig& config) {
+  const search::SearchConfig defaults = OperationTraits<Op>::default_search();
+  search::SearchConfig resolved = config;
+  if (resolved.strategy.empty()) resolved.strategy = defaults.strategy;
+  if (resolved.budget == 0) resolved.budget = defaults.budget;
+  if (resolved.max_candidates == 0) resolved.max_candidates = defaults.max_candidates;
+  if (resolved.batch == 0) resolved.batch = defaults.batch;
+  if (resolved.keep_top == 0) resolved.keep_top = defaults.keep_top;
+  if (resolved.reeval_reps <= 0) resolved.reeval_reps = defaults.reeval_reps;
+  return resolved;
+}
+
+}  // namespace
+
+/// One implementation for every operation and every strategy: build the op's
+/// search problem, let the configured strategy propose legal candidates, and
+/// spend the measurement budget re-timing them on the device. All op-specific
+/// behavior comes from OperationTraits<Op>, all policy from the strategy —
+/// adding an operation or a strategy adds no code here.
 template <typename Op>
 TuneResult<typename OperationTraits<Op>::Tuning> tune(
     const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,
-    const gpusim::Simulator& sim, const InferenceConfig& config) {
+    const gpusim::Simulator& sim, const search::SearchConfig& config) {
   using Traits = OperationTraits<Op>;
   using Tuning = typename Traits::Tuning;
 
+  const search::SearchConfig resolved = resolve_config<Op>(config);
   const auto& dev = sim.device();
-  const std::size_t max_candidates =
-      config.max_candidates > 0 ? config.max_candidates : Traits::default_max_candidates();
+  const typename Traits::SearchSpace space;
+
+  search::SearchProblem<Op> problem;
+  problem.shape = &shape;
+  problem.device = &dev;
+  problem.space = &space;
+  problem.model = &model;
+  const auto strategy = search::make_strategy<Op>(problem, resolved);
 
   TuneResult<Tuning> result;
+  result.strategy = resolved.strategy;
+  result.budget = resolved.budget;
 
-  // ---- phase 1: enumerate the legal space -----------------------------------
-  const typename Traits::SearchSpace space;
-  std::vector<Tuning> legal;
-  std::size_t visited = 0;
-  space.for_each([&](const Tuning& t) {
-    ++visited;
-    if (Traits::validate(shape, t, dev)) legal.push_back(t);
-    return true;
-  });
-  result.enumerated = visited;
-  if (legal.empty()) {
+  const auto measure = [&](const Tuning& t) {
+    const auto profile = Traits::analyze(shape, t, dev);
+    const auto timed = sim.launch_median(profile, resolved.reeval_reps);
+    return timed.valid ? timed.tflops * 1000.0 : 0.0;
+  };
+  // Deterministic tie-break shared by every strategy, so equal-measuring
+  // winners agree across strategies and across runs.
+  const auto better = [](const Candidate<Tuning>& a, const Candidate<Tuning>& b) {
+    if (a.measured_gflops != b.measured_gflops) return a.measured_gflops > b.measured_gflops;
+    return Traits::encode_tuning(a.tuning) < Traits::encode_tuning(b.tuning);
+  };
+  // Adaptive strategies may re-propose an already-measured point (annealing
+  // chain revisits, GA fallbacks); keep result.top a list of *distinct*
+  // candidates. Re-measurements are deterministic, so dropping them is safe.
+  std::unordered_set<std::string> seen_tunings;
+  result.measured = search::drive(
+      *strategy, resolved.budget, measure,
+      [&](const search::Proposal<Tuning>& p, double gflops) {
+        if (!seen_tunings.insert(Traits::encode_tuning(p.tuning)).second) return;
+        Candidate<Tuning> c;
+        c.tuning = p.tuning;
+        c.predicted_gflops = p.predicted_gflops;
+        c.measured_gflops = gflops;
+        result.top.push_back(std::move(c));
+        // Keep memory bounded for huge budgets (an unbudgeted exhaustive
+        // sweep measures the whole legal space): prune back to the keep_top
+        // best whenever the buffer doubles past it.
+        if (resolved.keep_top < result.top.size() / 2) {
+          std::nth_element(result.top.begin(),
+                           result.top.begin() + static_cast<std::ptrdiff_t>(resolved.keep_top),
+                           result.top.end(), better);
+          result.top.resize(resolved.keep_top);
+        }
+      });
+
+  result.enumerated = strategy->stats().visited;
+  result.legal = strategy->stats().legal;
+  if (result.top.empty()) {
     throw std::runtime_error("tune: no legal configuration for this shape/device");
   }
-  if (max_candidates > 0 && legal.size() > max_candidates) {
-    // Deterministic striding keeps coverage spread across the space; the seed
-    // grid is appended afterwards so subsampling can never lose the
-    // well-known-good region.
-    std::vector<Tuning> strided;
-    strided.reserve(max_candidates);
-    const double step =
-        static_cast<double>(legal.size()) / static_cast<double>(max_candidates);
-    for (std::size_t i = 0; i < max_candidates; ++i) {
-      strided.push_back(legal[static_cast<std::size_t>(i * step)]);
-    }
-    for (const Tuning& t : Traits::seed_grid()) {
-      if (Traits::validate(shape, t, dev)) strided.push_back(t);
-    }
-    legal = std::move(strided);
-  }
-  result.legal = legal.size();
 
-  // ---- phase 2: batched model scoring ---------------------------------------
-  std::vector<double> scores(legal.size());
-  const std::size_t batch = std::max<std::size_t>(config.batch, 1);
-  const std::size_t num_batches = (legal.size() + batch - 1) / batch;
-  ThreadPool::global().parallel_for_each(num_batches, [&](std::size_t bi) {
-    const std::size_t begin = bi * batch;
-    const std::size_t end = std::min(legal.size(), begin + batch);
-    std::vector<std::vector<double>> rows;
-    rows.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) rows.push_back(Traits::featurize(shape, legal[i]));
-    const auto pred = model.predict_gflops_batch(rows);
-    std::copy(pred.begin(), pred.end(), scores.begin() + static_cast<std::ptrdiff_t>(begin));
-  });
-
-  // ---- phase 3: top-k selection ----------------------------------------------
-  std::vector<std::size_t> order(legal.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  const std::size_t k =
-      std::min<std::size_t>(std::max<std::size_t>(config.top_k, 1), order.size());
-  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k), order.end(),
-                    [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
-
-  // ---- phase 4: re-time the top-k on the device ------------------------------
-  result.top.resize(k);
-  ThreadPool::global().parallel_for_each(k, [&](std::size_t i) {
-    Candidate<Tuning> c;
-    c.tuning = legal[order[i]];
-    c.predicted_gflops = scores[order[i]];
-    const auto profile = Traits::analyze(shape, c.tuning, dev);
-    const auto timed = sim.launch_median(profile, config.reeval_reps);
-    c.measured_gflops = timed.valid ? timed.tflops * 1000.0 : 0.0;
-    result.top[i] = std::move(c);
-  });
-
-  std::sort(result.top.begin(), result.top.end(),
-            [](const auto& a, const auto& b) { return a.measured_gflops > b.measured_gflops; });
+  std::sort(result.top.begin(), result.top.end(), better);
+  if (result.top.size() > resolved.keep_top) result.top.resize(resolved.keep_top);
   result.best = result.top.front();
 
-  ISAAC_LOG_INFO() << "tuned " << Traits::kind() << ": " << result.legal << " legal of "
-                   << result.enumerated << " enumerated; best measured "
-                   << result.best.measured_gflops << " GFLOPS (predicted "
-                   << result.best.predicted_gflops << ")";
+  ISAAC_LOG_INFO() << "tuned " << Traits::kind() << " [" << resolved.strategy << ", budget "
+                   << resolved.budget << "]: " << result.measured << " measured, "
+                   << result.legal << " legal of " << result.enumerated
+                   << " visited; best measured " << result.best.measured_gflops
+                   << " GFLOPS (predicted " << result.best.predicted_gflops << ")";
   return result;
 }
 
 template GemmTuneResult tune<GemmOp>(const codegen::GemmShape&, const mlp::Regressor&,
-                                     const gpusim::Simulator&, const InferenceConfig&);
+                                     const gpusim::Simulator&, const search::SearchConfig&);
 template ConvTuneResult tune<ConvOp>(const codegen::ConvShape&, const mlp::Regressor&,
-                                     const gpusim::Simulator&, const InferenceConfig&);
+                                     const gpusim::Simulator&, const search::SearchConfig&);
 template BatchedGemmTuneResult tune<BatchedGemmOp>(const codegen::BatchedGemmShape&,
                                                    const mlp::Regressor&,
                                                    const gpusim::Simulator&,
-                                                   const InferenceConfig&);
+                                                   const search::SearchConfig&);
 
 }  // namespace isaac::core

@@ -1,89 +1,91 @@
-// Runtime kernel inference (paper §6).
+// Runtime kernel inference (paper §6), on top of the pluggable search
+// subsystem (src/search/).
 //
-// With the input parameters fixed by the user, the trained regression model
-// is optimized over tuning parameters only. The search is exhaustive over the
-// legal space (paper: "guaranteed to find the global optimum within the
-// specified search range", "highly parallelizable"), batched through the MLP,
-// and the top-k predicted configurations are re-timed on the device to
-// "smooth out the inherent noise of our predictive model".
+// With the input parameters fixed by the user, tune<Op>() optimizes over the
+// tuning parameters by driving a SearchStrategy under an explicit measurement
+// budget. The default strategy, "model_topk", is the paper's recipe: rank the
+// legal space with the trained regression model ("guaranteed to find the
+// global optimum within the specified search range", "highly parallelizable"
+// — batched through the MLP), then re-time only the best predictions on the
+// device to "smooth out the inherent noise of our predictive model".
+// Alternative strategies (exhaustive / random / genetic / annealing) plug in
+// through SearchConfig::strategy; see search/factory.hpp.
 //
 // The whole pipeline is one templated tune<Op>() over OperationTraits<Op>
 // (core/operation.hpp); tune_gemm/tune_conv/tune_batched_gemm are aliases.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/operation.hpp"
 #include "gpusim/simulator.hpp"
 #include "mlp/regressor.hpp"
+#include "search/config.hpp"
 
 namespace isaac::core {
-
-struct InferenceConfig {
-  /// Re-time this many of the model's best predictions on the device.
-  std::size_t top_k = 100;
-  /// Timing repetitions per re-timed candidate (median taken).
-  int reeval_reps = 5;
-  /// Cap on legal candidates scored by the model (0 = the op's default from
-  /// OperationTraits<Op>::default_max_candidates()). Applied by deterministic
-  /// striding, for spaces too large to enumerate densely.
-  std::size_t max_candidates = 0;
-  /// MLP scoring batch.
-  std::size_t batch = 8192;
-};
 
 template <typename Tuning>
 struct Candidate {
   Tuning tuning{};
-  double predicted_gflops = 0.0;
-  double measured_gflops = 0.0;  // 0 until re-timed
+  double predicted_gflops = 0.0;  // 0 for model-free strategies
+  double measured_gflops = 0.0;
 };
 
 template <typename Tuning>
 struct TuneResult {
   Candidate<Tuning> best{};
-  std::vector<Candidate<Tuning>> top;  // re-timed candidates, best first
-  std::size_t enumerated = 0;          // size of X̂ visited
-  std::size_t legal = 0;               // candidates scored by the model
+  std::vector<Candidate<Tuning>> top;  // distinct measured candidates, best first
+  std::size_t enumerated = 0;          // points of X̂ the strategy visited
+  std::size_t legal = 0;               // subset that passed validation
+  std::size_t measured = 0;            // device evaluations spent (≤ budget)
+  std::string strategy;                // resolved strategy name
+  std::size_t budget = 0;              // resolved evaluation budget
 };
 
 using GemmTuneResult = TuneResult<codegen::GemmTuning>;
 using ConvTuneResult = TuneResult<codegen::ConvTuning>;
 using BatchedGemmTuneResult = TuneResult<codegen::GemmTuning>;
 
-/// Exhaustively optimize the model over Op's tuning parameters for `shape`,
-/// then re-time the top-k on `sim`. Throws std::runtime_error when no legal
-/// configuration exists. Thread-safe: shares only const state and the global
+/// Optimize the model over Op's tuning parameters for `shape` with the
+/// configured strategy and budget (zero-valued SearchConfig fields resolve
+/// against OperationTraits<Op>::default_search()). Throws std::runtime_error
+/// when no legal configuration exists and std::invalid_argument for an
+/// unknown strategy. Thread-safe: shares only const state and the global
 /// thread pool.
 template <typename Op>
 TuneResult<typename OperationTraits<Op>::Tuning> tune(
     const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,
-    const gpusim::Simulator& sim, const InferenceConfig& config = {});
+    const gpusim::Simulator& sim, const search::SearchConfig& config = {});
 
 extern template GemmTuneResult tune<GemmOp>(const codegen::GemmShape&, const mlp::Regressor&,
-                                            const gpusim::Simulator&, const InferenceConfig&);
+                                            const gpusim::Simulator&,
+                                            const search::SearchConfig&);
 extern template ConvTuneResult tune<ConvOp>(const codegen::ConvShape&, const mlp::Regressor&,
-                                            const gpusim::Simulator&, const InferenceConfig&);
+                                            const gpusim::Simulator&,
+                                            const search::SearchConfig&);
 extern template BatchedGemmTuneResult tune<BatchedGemmOp>(const codegen::BatchedGemmShape&,
                                                           const mlp::Regressor&,
                                                           const gpusim::Simulator&,
-                                                          const InferenceConfig&);
+                                                          const search::SearchConfig&);
 
 inline GemmTuneResult tune_gemm(const codegen::GemmShape& shape, const mlp::Regressor& model,
-                                const gpusim::Simulator& sim, const InferenceConfig& config = {}) {
+                                const gpusim::Simulator& sim,
+                                const search::SearchConfig& config = {}) {
   return tune<GemmOp>(shape, model, sim, config);
 }
 
 inline ConvTuneResult tune_conv(const codegen::ConvShape& shape, const mlp::Regressor& model,
-                                const gpusim::Simulator& sim, const InferenceConfig& config = {}) {
+                                const gpusim::Simulator& sim,
+                                const search::SearchConfig& config = {}) {
   return tune<ConvOp>(shape, model, sim, config);
 }
 
 inline BatchedGemmTuneResult tune_batched_gemm(const codegen::BatchedGemmShape& shape,
                                                const mlp::Regressor& model,
                                                const gpusim::Simulator& sim,
-                                               const InferenceConfig& config = {}) {
+                                               const search::SearchConfig& config = {}) {
   return tune<BatchedGemmOp>(shape, model, sim, config);
 }
 

@@ -42,7 +42,9 @@ struct ContextOptions {
   double noise_sigma = 0.03;       // simulated measurement noise
   std::uint64_t seed = 0x15AAC;
   std::string cache_dir;           // "" = in-memory profile cache only
-  InferenceConfig inference;
+  /// Strategy + budget every tuning run dispatches through (zero-valued
+  /// fields resolve against the op's OperationTraits::default_search()).
+  search::SearchConfig search;
 };
 
 /// What a tuned call reports back.
@@ -86,7 +88,7 @@ class Context {
   template <typename Op>
   TuneResult<typename OperationTraits<Op>::Tuning> tune(
       const typename OperationTraits<Op>::Shape& shape) {
-    return core::tune<Op>(shape, model(), sim_, options_.inference);
+    return core::tune<Op>(shape, model(), sim_, options_.search);
   }
   GemmTuneResult tune_gemm(const codegen::GemmShape& shape) { return tune<GemmOp>(shape); }
   ConvTuneResult tune_conv(const codegen::ConvShape& shape) { return tune<ConvOp>(shape); }
@@ -159,7 +161,7 @@ class Context {
     return warmup<GemmOp>(std::move(shapes));
   }
 
-  /// Number of exhaustive tuning runs this Context has performed — with
+  /// Number of tuning searches this Context has performed — with
   /// single-flight dispatch this is exactly one per distinct cold shape, no
   /// matter how many threads raced on it.
   std::size_t tuning_runs() const noexcept { return tuning_runs_.load(); }
@@ -219,8 +221,11 @@ typename OperationTraits<Op>::Tuning Context::select(
       std::optional<typename OperationTraits<Op>::Tuning> winner;
       std::exception_ptr error;
       try {
-        const auto result = core::tune<Op>(shape, model(), sim_, options_.inference);
-        cache_.store<Op>(dev, shape, result.best.tuning);
+        const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
+        // Provenance records the evaluations actually spent (≤ the requested
+        // budget): truthful even for "unlimited" sweeps.
+        cache_.store<Op>(dev, shape, result.best.tuning,
+                         ProfileCache::provenance(result.strategy, result.measured));
         tuning_runs_.fetch_add(1, std::memory_order_relaxed);
         winner = result.best.tuning;
         promise.set_value();

@@ -16,7 +16,8 @@
 //                                       tuning codec for the profile cache
 //   seed_grid()                       — coarse always-tried configurations,
 //                                       appended when inference subsamples X̂
-//   default_max_candidates()          — per-op subsampling default (0 = none)
+//   default_search()                  — the op's baseline SearchConfig
+//                                       (strategy, budget, ranking cap)
 //   execute(shape, tuning, args...)   — the functional executor hook
 #pragma once
 
@@ -32,6 +33,7 @@
 #include "codegen/gemm_executor.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/kernel_profile.hpp"
+#include "search/config.hpp"
 #include "tuning/dataset.hpp"
 #include "tuning/search_space.hpp"
 
@@ -70,7 +72,14 @@ struct OperationTraits<GemmOp> {
   static std::string encode_tuning(const Tuning& t);
   static bool decode_tuning(const std::string& text, Tuning& t);
   static const std::vector<Tuning>& seed_grid();
-  static constexpr std::size_t default_max_candidates() { return 0; }  // exhaustive
+  /// Baseline search: the paper's recipe (model-ranked top-100 re-timed),
+  /// ranking the GEMM X̂ densely.
+  static search::SearchConfig default_search() {
+    search::SearchConfig cfg;
+    cfg.strategy = "model_topk";
+    cfg.budget = 100;
+    return cfg;
+  }
 
   template <typename... Args>
   static void execute(const Shape& s, const Tuning& t, Args&&... args) {
@@ -103,8 +112,12 @@ struct OperationTraits<ConvOp> {
   static std::string encode_tuning(const Tuning& t);
   static bool decode_tuning(const std::string& text, Tuning& t);
   static const std::vector<Tuning>& seed_grid();
-  /// The conv X̂ is ~10^7; inference subsamples it by default.
-  static constexpr std::size_t default_max_candidates() { return 200000; }
+  /// The conv X̂ is ~10^7; model-guided ranking subsamples it by default.
+  static search::SearchConfig default_search() {
+    search::SearchConfig cfg = OperationTraits<GemmOp>::default_search();
+    cfg.max_candidates = 200000;
+    return cfg;
+  }
 
   template <typename... Args>
   static void execute(const Shape& s, const Tuning& t, Args&&... args) {
@@ -139,7 +152,9 @@ struct OperationTraits<BatchedGemmOp> {
   /// GEMM seeds with KG > 1 exist in the grid but fail batched validation, so
   /// sharing the grid is safe.
   static const std::vector<Tuning>& seed_grid();
-  static constexpr std::size_t default_max_candidates() { return 0; }
+  static search::SearchConfig default_search() {
+    return OperationTraits<GemmOp>::default_search();
+  }
 
   template <typename... Args>
   static void execute(const Shape& s, const Tuning& t, Args&&... args) {

@@ -32,25 +32,36 @@ void ProfileCache::load_from_disk() {
   if (!is) return;
   std::string line;
   while (std::getline(is, line)) {
-    // Format: key \t value. Older caches wrote kind \t key \t value; the kind
-    // column is redundant (the key embeds it) and is skipped when present.
+    // Current format: key \t value \t provenance. Both older schemas are
+    // still read: key \t value (no provenance column), and the oldest
+    // kind \t key \t value, whose kind column is redundant (the key embeds
+    // it). The two three-column schemas are disambiguated by the '|' the key
+    // always contains and a bare kind never does.
     const auto parts = strings::split(line, '\t');
     if (parts.size() == 2) {
-      entries_[parts[0]] = Entry{parts[1], {}};
+      entries_[parts[0]] = Entry{parts[1], "", {}};
+    } else if (parts.size() == 3 && parts[0].find('|') != std::string::npos) {
+      entries_[parts[0]] = Entry{parts[1], parts[2], {}};
     } else if (parts.size() == 3) {
-      entries_[parts[1]] = Entry{parts[2], {}};
+      entries_[parts[1]] = Entry{parts[2], "", {}};
     }
   }
   ISAAC_LOG_INFO() << "profile cache: loaded " << entries_.size() << " entries from "
                    << cache_file(directory_).string();
 }
 
-void ProfileCache::append_to_disk(const std::string& key, const std::string& value) const {
+std::string ProfileCache::provenance(const std::string& strategy, std::size_t budget) {
+  return "strategy=" + strategy + ";budget=" + std::to_string(budget);
+}
+
+void ProfileCache::append_to_disk(const std::string& key, const std::string& value,
+                                  const std::string& meta) const {
   if (directory_.empty()) return;
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   const std::filesystem::path file = cache_file(directory_);
-  const std::string line = key + '\t' + value + '\n';
+  const std::string line =
+      meta.empty() ? key + '\t' + value + '\n' : key + '\t' + value + '\t' + meta + '\n';
 #if ISAAC_HAVE_FLOCK
   // Exclusive-flocked O_APPEND write of the whole line in one syscall, so
   // concurrent writers (threads or separate processes) cannot tear it.

@@ -1,10 +1,13 @@
 // Filesystem cache for tuned kernel selections (paper §6: "the resulting
 // predictions may be used directly ... cached on the filesystem").
 //
-// One keyed store for every operation: entries are (key, encoded tuning)
-// strings, where the key is device|kind|shape-fields and the codec comes from
-// OperationTraits<Op>. Typed accessors lookup<Op>/store<Op> decode on the way
-// out, so adding an operation adds no code here.
+// One keyed store for every operation: entries are (key, encoded tuning,
+// provenance) strings, where the key is device|kind|shape-fields, the codec
+// comes from OperationTraits<Op>, and the provenance records which search
+// strategy and budget produced the tuning (so cached selections stay
+// auditable once several strategies coexist). Typed accessors
+// lookup<Op>/store<Op> decode on the way out, so adding an operation adds no
+// code here.
 //
 // Thread-safe: lookups take a shared lock, stores an exclusive one. Disk
 // appends go through a flocked O_APPEND write so concurrent processes (or
@@ -58,14 +61,27 @@ class ProfileCache {
 
   template <typename Op>
   void store(const std::string& device, const typename OperationTraits<Op>::Shape& shape,
-             const typename OperationTraits<Op>::Tuning& tuning) {
+             const typename OperationTraits<Op>::Tuning& tuning, std::string meta = "") {
     const std::string k = key<Op>(device, shape);
     const std::string value = OperationTraits<Op>::encode_tuning(tuning);
     // The disk append stays under the lock so the file's last-writer order
     // matches the in-memory last-writer order when stores race on one key.
     std::unique_lock lock(mutex_);
-    entries_[k] = Entry{value, tuning};
-    append_to_disk(k, value);
+    append_to_disk(k, value, meta);
+    entries_[k] = Entry{value, std::move(meta), tuning};
+  }
+
+  /// Canonical provenance string stored alongside a tuning:
+  /// "strategy=<name>;budget=<n>".
+  static std::string provenance(const std::string& strategy, std::size_t budget);
+
+  /// Provenance recorded for a key ("" for pre-schema-bump entries); nullopt
+  /// when the key is absent. Key derivation via key<Op>().
+  std::optional<std::string> meta(const std::string& key) const {
+    std::shared_lock lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.meta;
   }
 
   std::size_t size() const noexcept {
@@ -110,11 +126,13 @@ class ProfileCache {
   /// memoizes the parsed tuning so cached dispatch never re-parses text.
   struct Entry {
     std::string encoded;
+    std::string meta;  // provenance column ("" for legacy lines)
     std::any decoded;
   };
 
   void load_from_disk();
-  void append_to_disk(const std::string& key, const std::string& value) const;
+  void append_to_disk(const std::string& key, const std::string& value,
+                      const std::string& meta) const;
 
   std::string directory_;
   mutable std::map<std::string, Entry> entries_;  // mutable: lookup memoizes decodes

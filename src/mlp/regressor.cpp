@@ -1,11 +1,13 @@
 #include "mlp/regressor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "linalg/blas.hpp"
 
 namespace isaac::mlp {
@@ -62,15 +64,30 @@ Regressor::Regressor(Mlp net, Scaler feature_scaler, double y_mean, double y_std
       log_features_(log_features) {}
 
 Matrix Regressor::encode_batch(const std::vector<std::vector<double>>& rows) const {
-  Matrix x(rows.size(), feature_scaler_.mean.size());
-  for (std::size_t r = 0; r < rows.size(); ++r) {
+  return encode_range(rows, 0, rows.size());
+}
+
+Matrix Regressor::encode_range(const std::vector<std::vector<double>>& rows, std::size_t begin,
+                               std::size_t end) const {
+  Matrix x(end - begin, feature_scaler_.mean.size());
+  for (std::size_t r = begin; r < end; ++r) {
     std::vector<double> row = preprocess(rows[r], log_features_);
     feature_scaler_.apply(row);
     for (std::size_t c = 0; c < row.size(); ++c) {
-      x(r, c) = static_cast<float>(row[c]);
+      x(r - begin, c) = static_cast<float>(row[c]);
     }
   }
   return x;
+}
+
+void Regressor::predict_gflops_range(const std::vector<std::vector<double>>& rows,
+                                     std::size_t begin, std::size_t end, double* out) const {
+  const Matrix x = encode_range(rows, begin, end);
+  const Matrix y = net_.forward(x);
+  for (std::size_t i = 0; i < end - begin; ++i) {
+    const double z = static_cast<double>(y(i, 0)) * y_std_ + y_mean_;  // log-GFLOPS
+    out[i] = std::exp(z);
+  }
 }
 
 double Regressor::predict_gflops(const std::vector<double>& raw_features) const {
@@ -80,13 +97,22 @@ double Regressor::predict_gflops(const std::vector<double>& raw_features) const 
 std::vector<double> Regressor::predict_gflops_batch(
     const std::vector<std::vector<double>>& rows) const {
   if (rows.empty()) return {};
-  const Matrix x = encode_batch(rows);
-  const Matrix y = net_.forward(x);
   std::vector<double> out(rows.size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const double z = static_cast<double>(y(i, 0)) * y_std_ + y_mean_;  // log-GFLOPS
-    out[i] = std::exp(z);
-  }
+  predict_gflops_range(rows, 0, rows.size(), out.data());
+  return out;
+}
+
+std::vector<double> Regressor::predict_gflops_chunked(
+    const std::vector<std::vector<double>>& rows, std::size_t batch) const {
+  if (rows.empty()) return {};
+  if (batch == 0 || rows.size() <= batch) return predict_gflops_batch(rows);
+  std::vector<double> out(rows.size());
+  const std::size_t num_chunks = (rows.size() + batch - 1) / batch;
+  ThreadPool::global().parallel_for_each(num_chunks, [&](std::size_t ci) {
+    const std::size_t begin = ci * batch;
+    const std::size_t end = std::min(rows.size(), begin + batch);
+    predict_gflops_range(rows, begin, end, out.data() + begin);
+  });
   return out;
 }
 

@@ -48,6 +48,14 @@ class Regressor {
   /// inference, which scores hundreds of thousands of candidates.
   std::vector<double> predict_gflops_batch(const std::vector<std::vector<double>>& rows) const;
 
+  /// Whole-space scoring: split `rows` into `batch`-sized chunks and score
+  /// them in parallel on the global thread pool. This is the entry point
+  /// model-guided search strategies rank X with (search/model_topk.hpp);
+  /// results are identical to predict_gflops_batch, independent of thread
+  /// count. `batch` == 0 falls back to one chunk.
+  std::vector<double> predict_gflops_chunked(const std::vector<std::vector<double>>& rows,
+                                             std::size_t batch) const;
+
   /// MSE in standardized log-target units over a dataset (Table 2 metric).
   double mse(const tuning::Dataset& data) const;
 
@@ -60,6 +68,11 @@ class Regressor {
 
  private:
   linalg::Matrix encode_batch(const std::vector<std::vector<double>>& rows) const;
+  /// Encode/score rows[begin, end) without copying the slice.
+  linalg::Matrix encode_range(const std::vector<std::vector<double>>& rows, std::size_t begin,
+                              std::size_t end) const;
+  void predict_gflops_range(const std::vector<std::vector<double>>& rows, std::size_t begin,
+                            std::size_t end, double* out) const;
 
   Mlp net_;
   Scaler feature_scaler_;

@@ -1,0 +1,109 @@
+// SimulatedAnnealing: a single Metropolis chain over choice indices. Neighbor
+// moves nudge one parameter to an adjacent domain index (occasionally jumping
+// to a random one); acceptance on the *relative* GFLOPS change, so the
+// temperature scale is shape-independent. The temperature decays
+// geometrically over the evaluation budget, turning the chain from an
+// explorer into a hill-climber as the budget drains.
+//
+// Inherently sequential (each move depends on the previous measurement), so
+// propose() hands out one candidate at a time regardless of max_batch.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "search/strategy.hpp"
+
+namespace isaac::search {
+
+template <typename Op>
+class SimulatedAnnealing final : public SearchStrategy<Op> {
+ public:
+  using Base = SearchStrategy<Op>;
+  using Tuning = typename Base::Tuning;
+
+  using Base::Base;
+
+  const char* name() const override { return "annealing"; }
+
+  std::vector<Proposal<Tuning>> propose(std::size_t max_batch) override {
+    std::vector<Proposal<Tuning>> out;
+    if (max_batch == 0) return out;
+    if (auto c = current_ ? neighbor() : random_legal()) {
+      proposed_ = *c;
+      out.push_back(this->make_proposal(std::move(*c)));
+    }
+    return out;
+  }
+
+  void observe(const Choice& choice, double measured_gflops) override {
+    if (choice != proposed_) return;  // stale feedback (e.g. a replayed candidate)
+    ++evals_;
+    if (!current_ || measured_gflops >= current_score_) {
+      current_ = choice;
+      current_score_ = measured_gflops;
+      return;
+    }
+    // Metropolis: downhill moves accepted with exp(Δrel / T).
+    const double rel =
+        (measured_gflops - current_score_) / std::max(current_score_, 1e-9);
+    if (this->rng_.uniform() < std::exp(rel / temperature())) {
+      current_ = choice;
+      current_score_ = measured_gflops;
+    }
+  }
+
+ private:
+  static constexpr double kTempHot = 0.25;   // accepts ~25% relative regressions
+  static constexpr double kTempCold = 0.01;  // effectively greedy
+
+  double temperature() const {
+    const std::size_t budget = this->config_.budget;
+    if (budget == 0 || budget == SIZE_MAX) return kTempHot;
+    const double progress =
+        std::min(1.0, static_cast<double>(evals_) / static_cast<double>(budget));
+    return kTempHot * std::pow(kTempCold / kTempHot, progress);
+  }
+
+  std::optional<Choice> neighbor() {
+    const auto& domains = this->problem_.space->domains();
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      Choice c = *current_;
+      const auto d = static_cast<std::size_t>(
+          this->rng_.uniform_int(0, static_cast<std::int64_t>(domains.size()) - 1));
+      const auto arity = static_cast<std::int64_t>(domains[d].values.size());
+      if (arity > 1 && this->rng_.uniform() < 0.7) {
+        // Adjacent step: domains are sorted value lists, so ±1 is the smallest
+        // meaningful perturbation.
+        const std::int64_t delta = this->rng_.bernoulli(0.5) ? 1 : -1;
+        const auto idx = static_cast<std::int64_t>(c[d]) + delta;
+        c[d] = static_cast<std::size_t>(std::clamp<std::int64_t>(idx, 0, arity - 1));
+      } else {
+        c[d] = static_cast<std::size_t>(this->rng_.uniform_int(0, arity - 1));
+      }
+      if (c == *current_) continue;
+      if (this->check(c)) return c;
+    }
+    // Stuck in an illegal neighborhood: restart the chain somewhere legal.
+    return random_legal();
+  }
+
+  std::optional<Choice> random_legal() {
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      Choice c = this->random_choice();
+      if (this->check(c)) return c;
+    }
+    // Sparse legal space (fractions of 1e-4 exist): fall back to the
+    // guaranteed scan so a tunable shape never reports "no legal config".
+    return this->scan_for_legal(this->random_choice());
+  }
+
+  std::optional<Choice> current_;
+  double current_score_ = 0.0;
+  Choice proposed_;
+  std::size_t evals_ = 0;
+};
+
+}  // namespace isaac::search

@@ -1,0 +1,56 @@
+// SearchConfig: how much a tuning search may spend and which strategy spends
+// it. Shared by runtime inference (core/inference.hpp), the cached dispatch
+// path (core::Context) and offline data collection (tuning/collector.hpp).
+//
+// The budget counts *measured device evaluations* — the expensive resource.
+// Model scoring, legality checks and proposal generation are considered free:
+// strategies may consult the validator (and, for model-guided strategies, the
+// regressor) as much as they like before spending a unit of budget. Every
+// strategy is *anytime*: stopping the drive loop early still yields the best
+// configuration among the evaluations performed so far.
+//
+// Zero-valued fields mean "use the operation's default" and are resolved
+// against OperationTraits<Op>::default_search() by core::tune<Op>().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace isaac::search {
+
+struct SearchConfig {
+  /// Strategy name: "exhaustive", "random", "genetic", "annealing" or
+  /// "model_topk" (see search/factory.hpp). Empty (the default) = the op's
+  /// default from OperationTraits<Op>::default_search() — "model_topk" for
+  /// every current op.
+  std::string strategy;
+
+  /// Maximum measured device evaluations. 0 (the default) = the op's
+  /// default; SIZE_MAX = unlimited (ExhaustiveSearch then sweeps the whole
+  /// legal space, the pre-subsystem ground truth). The driver clamps any
+  /// budget to |X̂| — the space's distinct point count — so unlimited
+  /// budgets terminate for every strategy.
+  std::size_t budget = 0;
+
+  /// Seed for stochastic strategies — identical (config, shape, device)
+  /// searches reproduce identical trajectories.
+  std::uint64_t seed = 0x5EA47C4ULL;
+
+  /// Timing repetitions per measured candidate (median taken).
+  int reeval_reps = 5;
+
+  /// MLP scoring batch for model-guided strategies.
+  std::size_t batch = 8192;
+
+  /// Cap on the legal candidates a model-guided strategy ranks (0 = the op's
+  /// default; for ops whose default is 0, the ranking is dense). Applied by
+  /// deterministic striding with the op's seed grid re-appended, for spaces
+  /// too large to score densely.
+  std::size_t max_candidates = 0;
+
+  /// Measured candidates retained (best first) in TuneResult::top.
+  std::size_t keep_top = 100;
+};
+
+}  // namespace isaac::search

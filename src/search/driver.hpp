@@ -1,0 +1,68 @@
+// drive(): the one budgeted propose → measure → observe loop every consumer
+// of the search subsystem runs — runtime inference (core/inference.cpp) and
+// adaptive offline data collection (tuning/collector.cpp) differ only in
+// their measure/sink callbacks.
+//
+// Budget semantics are exact: at most `budget` calls to `measure`, and
+// exactly `budget` whenever the strategy can keep supplying fresh legal
+// candidates. Anytime semantics fall out of the loop shape — every measured
+// candidate reaches `sink` before the next proposal round, so aborting after
+// any iteration leaves a usable best-so-far.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "search/strategy.hpp"
+
+namespace isaac::search {
+
+/// Run `strategy` until `budget` measured evaluations (SIZE_MAX = until the
+/// strategy is exhausted). `measure(tuning) -> double` is the expensive
+/// oracle; `sink(proposal, measured_gflops)` receives every result. Returns
+/// the number of evaluations performed.
+///
+/// A proposal batch is measured in parallel on the global thread pool (the
+/// strategy already committed to the whole batch, so no intra-batch feedback
+/// is lost) — `measure` must be thread-safe. `observe` and `sink` run
+/// sequentially in proposal order afterwards, so strategies and result
+/// accumulation stay single-threaded and deterministic. Inherently
+/// sequential strategies (simulated annealing) simply propose one candidate
+/// per round.
+template <typename Op, typename MeasureFn, typename SinkFn>
+std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const MeasureFn& measure,
+                  const SinkFn& sink) {
+  // Proposal batch: big enough to amortize parallel measurement, small
+  // enough that adaptive strategies get frequent feedback.
+  constexpr std::size_t kBatch = 64;
+  // Clamp to |X̂|: measuring more evaluations than the space has distinct
+  // points is never useful, and it bounds "unlimited" budgets for strategies
+  // that never return an empty batch (genetic fallbacks, annealing restarts).
+  const std::size_t target =
+      std::min<std::size_t>(budget, std::max<std::size_t>(strategy.space_points(), 1));
+  std::size_t measured = 0;
+  std::vector<double> scores;
+  while (measured < target) {
+    const std::size_t want = std::min<std::size_t>(kBatch, target - measured);
+    auto proposals = strategy.propose(want);
+    if (proposals.empty()) break;
+    if (proposals.size() > want) proposals.resize(want);  // never overspend
+    scores.assign(proposals.size(), 0.0);
+    if (proposals.size() > 1) {
+      ThreadPool::global().parallel_for_each(
+          proposals.size(), [&](std::size_t i) { scores[i] = measure(proposals[i].tuning); });
+    } else {
+      scores[0] = measure(proposals[0].tuning);
+    }
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+      strategy.observe(proposals[i].choice, scores[i]);
+      sink(proposals[i], scores[i]);
+      ++measured;
+    }
+  }
+  return measured;
+}
+
+}  // namespace isaac::search

@@ -1,0 +1,42 @@
+// ExhaustiveSearch: walk every point of X̂ in lexicographic (odometer) order,
+// proposing the legal ones. With an unlimited budget this measures the entire
+// legal space X — the pre-subsystem ground truth — and with a finite budget
+// it degrades to "measure the first `budget` legal points", which is mostly
+// useful as a baseline for the adaptive strategies.
+#pragma once
+
+#include "search/strategy.hpp"
+
+namespace isaac::search {
+
+template <typename Op>
+class ExhaustiveSearch final : public SearchStrategy<Op> {
+ public:
+  using Base = SearchStrategy<Op>;
+  using Tuning = typename Base::Tuning;
+
+  using Base::Base;
+
+  const char* name() const override { return "exhaustive"; }
+
+  std::vector<Proposal<Tuning>> propose(std::size_t max_batch) override {
+    std::vector<Proposal<Tuning>> out;
+    if (done_ || max_batch == 0) return out;
+    const auto& domains = this->problem_.space->domains();
+    if (odometer_.empty()) odometer_.assign(domains.size(), 0);
+    while (out.size() < max_batch) {
+      if (this->check(odometer_)) out.push_back(this->make_proposal(odometer_));
+      if (!advance_choice(odometer_, domains)) {
+        done_ = true;
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  Choice odometer_;
+  bool done_ = false;
+};
+
+}  // namespace isaac::search

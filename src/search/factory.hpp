@@ -1,0 +1,43 @@
+// Strategy registry: name -> SearchStrategy<Op> instance. The names are the
+// public contract — they appear in SearchConfig::strategy, in profile-cache
+// provenance columns, and in the bench sweep's JSON output.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "search/annealing.hpp"
+#include "search/exhaustive.hpp"
+#include "search/genetic.hpp"
+#include "search/model_topk.hpp"
+#include "search/random.hpp"
+
+namespace isaac::search {
+
+/// All registered strategy names (registry.cpp). Kept in sync with
+/// make_strategy by the round-trip test in tests/test_search.cpp.
+const std::vector<std::string>& strategy_names();
+
+/// True when `name` is a registered strategy.
+bool strategy_is_known(const std::string& name);
+
+/// True for strategies that run without a trained regressor (everything but
+/// model_topk) — the set offline collection may use before a model exists.
+/// Unknown names are NOT model-free: check strategy_is_known first.
+bool strategy_is_model_free(const std::string& name);
+
+template <typename Op>
+std::unique_ptr<SearchStrategy<Op>> make_strategy(const SearchProblem<Op>& problem,
+                                                  const SearchConfig& config) {
+  const std::string& name = config.strategy;
+  if (name == "exhaustive") return std::make_unique<ExhaustiveSearch<Op>>(problem, config);
+  if (name == "random") return std::make_unique<RandomSearch<Op>>(problem, config);
+  if (name == "genetic") return std::make_unique<GeneticSearch<Op>>(problem, config);
+  if (name == "annealing") return std::make_unique<SimulatedAnnealing<Op>>(problem, config);
+  if (name == "model_topk") return std::make_unique<ModelGuidedTopK<Op>>(problem, config);
+  throw std::invalid_argument("make_strategy: unknown search strategy '" + name + "'");
+}
+
+}  // namespace isaac::search

@@ -1,0 +1,146 @@
+// GeneticSearch: a generational GA over per-parameter choice indices.
+// Tournament selection on measured GFLOPS, uniform crossover, per-gene
+// mutation to a random domain index. Offspring are legality-checked (and
+// de-duplicated) before they are proposed, so crossover products that land
+// outside X never consume measurement budget.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+#include "search/random.hpp"  // choice_hash
+
+namespace isaac::search {
+
+template <typename Op>
+class GeneticSearch final : public SearchStrategy<Op> {
+ public:
+  using Base = SearchStrategy<Op>;
+  using Tuning = typename Base::Tuning;
+
+  using Base::Base;
+
+  const char* name() const override { return "genetic"; }
+
+  std::vector<Proposal<Tuning>> propose(std::size_t max_batch) override {
+    std::vector<Proposal<Tuning>> out;
+    while (out.size() < max_batch) {
+      if (pending_.empty() && !refill()) break;
+      out.push_back(this->make_proposal(std::move(pending_.front())));
+      pending_.pop_front();
+    }
+    return out;
+  }
+
+  void observe(const Choice& choice, double measured_gflops) override {
+    evaluated_.push_back({choice, measured_gflops});
+  }
+
+ private:
+  static constexpr std::size_t kPopulation = 24;
+  static constexpr int kTournament = 3;
+  static constexpr double kMutationRate = 0.15;
+  static constexpr int kMaxStaleGenerations = 4;
+
+  /// Queue up the next generation; false when nothing can be proposed right
+  /// now (no legal individual found, or the seed generation is still out
+  /// being measured — proposing less than max_batch makes the driver come
+  /// back with observations instead of flooding the first rounds with
+  /// selection-free random individuals).
+  bool refill() {
+    const std::size_t before = pending_.size();
+    if (evaluated_.empty()) {
+      if (seeded_) return false;  // wait for the seed generation's fitness
+      seeded_ = true;
+      // Seed generation: unique random legal individuals.
+      for (std::size_t i = 0; i < kPopulation; ++i) {
+        if (auto c = random_unseen_legal()) pending_.push_back(std::move(*c));
+      }
+    } else {
+      bool any_new = false;
+      for (std::size_t i = 0; i < kPopulation; ++i) {
+        if (auto c = breed(any_new)) pending_.push_back(std::move(*c));
+      }
+      // Saturation: generations made only of re-proposed duplicates mean the
+      // reachable space is explored — stop instead of burning an unlimited
+      // budget re-measuring known points.
+      if (any_new) {
+        stale_generations_ = 0;
+      } else if (++stale_generations_ >= kMaxStaleGenerations) {
+        return false;
+      }
+    }
+    return pending_.size() > before;
+  }
+
+  const Choice& tournament_pick() {
+    const auto n = static_cast<std::int64_t>(evaluated_.size());
+    std::size_t best = static_cast<std::size_t>(this->rng_.uniform_int(0, n - 1));
+    for (int i = 1; i < kTournament; ++i) {
+      const auto idx = static_cast<std::size_t>(this->rng_.uniform_int(0, n - 1));
+      if (evaluated_[idx].fitness > evaluated_[best].fitness) best = idx;
+    }
+    return evaluated_[best].choice;
+  }
+
+  /// Sets `any_new` when the child is a never-proposed point (as opposed to
+  /// the re-proposal fallbacks) — the saturation signal refill() watches.
+  std::optional<Choice> breed(bool& any_new) {
+    const auto& domains = this->problem_.space->domains();
+    Choice fallback;  // last legal-but-seen child, reused if nothing new shows up
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const Choice& a = tournament_pick();
+      const Choice& b = tournament_pick();
+      Choice child(a.size());
+      for (std::size_t d = 0; d < child.size(); ++d) {
+        child[d] = this->rng_.bernoulli(0.5) ? a[d] : b[d];
+        if (this->rng_.uniform() < kMutationRate) {
+          child[d] = static_cast<std::size_t>(this->rng_.uniform_int(
+              0, static_cast<std::int64_t>(domains[d].values.size()) - 1));
+        }
+      }
+      if (!this->check(child)) continue;
+      if (seen_.insert(choice_hash(child)).second) {
+        any_new = true;
+        return child;
+      }
+      fallback = std::move(child);
+    }
+    if (auto c = random_unseen_legal()) {
+      any_new = true;
+      return c;
+    }
+    // Saturated neighborhood: re-evaluating a known-legal point keeps the
+    // generation full (and the budget honest) instead of stalling the search.
+    if (!fallback.empty()) return fallback;
+    return std::nullopt;
+  }
+
+  std::optional<Choice> random_unseen_legal() {
+    for (int attempt = 0; attempt < 2048; ++attempt) {
+      Choice c = this->random_choice();
+      if (!seen_.insert(choice_hash(c)).second) continue;
+      if (this->check(c)) return c;
+    }
+    // Sparse legal space: fall back to the guaranteed scan. A scan that only
+    // finds an already-seen point reports failure — there is nothing *new*
+    // within reach, and the caller treats re-proposals separately.
+    auto c = this->scan_for_legal(this->random_choice());
+    if (c && !seen_.insert(choice_hash(*c)).second) return std::nullopt;
+    return c;
+  }
+
+  struct Evaluated {
+    Choice choice;
+    double fitness;
+  };
+
+  std::deque<Choice> pending_;
+  std::vector<Evaluated> evaluated_;
+  std::unordered_set<std::uint64_t> seen_;
+  bool seeded_ = false;
+  int stale_generations_ = 0;
+};
+
+}  // namespace isaac::search

@@ -1,0 +1,111 @@
+// ModelGuidedTopK: the paper's §6 runtime recipe as an explicit, budgeted
+// strategy. Rank the whole legal space with the trained regressor (cheap:
+// batched MLP forward passes in parallel), then spend the measurement budget
+// on the k best predictions only — the re-timing that "smooths out the
+// inherent noise of our predictive model".
+//
+// Ranking cost is bounded by SearchConfig::max_candidates: oversized legal
+// spaces are deterministically strided and the op's seed grid re-appended so
+// subsampling can never lose the well-known-good region.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "search/random.hpp"  // choice_hash
+
+namespace isaac::search {
+
+template <typename Op>
+class ModelGuidedTopK final : public SearchStrategy<Op> {
+ public:
+  using Base = SearchStrategy<Op>;
+  using Tuning = typename Base::Tuning;
+
+  ModelGuidedTopK(const SearchProblem<Op>& problem, const SearchConfig& config)
+      : Base(problem, config) {
+    if (this->problem_.model == nullptr) {
+      throw std::invalid_argument("model_topk: this strategy requires a trained model");
+    }
+  }
+
+  const char* name() const override { return "model_topk"; }
+
+  std::vector<Proposal<Tuning>> propose(std::size_t max_batch) override {
+    if (!ranked_) rank();
+    std::vector<Proposal<Tuning>> out;
+    while (out.size() < max_batch && next_ < order_.size()) {
+      const std::size_t i = order_[next_++];
+      out.push_back(this->make_proposal(candidates_[i], scores_[i]));
+    }
+    return out;
+  }
+
+ private:
+  void rank() {
+    ranked_ = true;
+    using Traits = typename Base::Traits;
+    const auto& space = *this->problem_.space;
+    const auto& domains = space.domains();
+
+    // ---- enumerate the legal space --------------------------------------
+    Choice odometer(domains.size(), 0);
+    do {
+      if (this->check(odometer)) candidates_.push_back(odometer);
+    } while (advance_choice(odometer, domains));
+    if (candidates_.empty()) return;
+
+    // ---- subsample oversized spaces, keeping the seed grid --------------
+    const std::size_t cap = this->config_.max_candidates;
+    if (cap > 0 && candidates_.size() > cap) {
+      std::vector<Choice> kept;
+      kept.reserve(cap + 64);
+      std::unordered_set<std::uint64_t> in_kept;
+      const double step =
+          static_cast<double>(candidates_.size()) / static_cast<double>(cap);
+      for (std::size_t i = 0; i < cap; ++i) {
+        Choice& c = candidates_[static_cast<std::size_t>(i * step)];
+        if (in_kept.insert(choice_hash(c)).second) kept.push_back(std::move(c));
+      }
+      for (const Tuning& t : Traits::seed_grid()) {
+        Choice c;
+        if (!space.encode(t, c)) continue;  // value outside this space's domains
+        // Probe uncounted: the odometer sweep above already visited (and
+        // counted) every point of X̂, this only re-selects from it.
+        if (!this->problem_.legal(c)) continue;
+        if (in_kept.insert(choice_hash(c)).second) kept.push_back(std::move(c));
+      }
+      candidates_ = std::move(kept);
+    }
+
+    // ---- batched model scoring ------------------------------------------
+    std::vector<std::vector<double>> rows(candidates_.size());
+    ThreadPool::global().parallel_for_each(candidates_.size(), [&](std::size_t i) {
+      rows[i] = this->problem_.featurize(space.decode(candidates_[i]));
+    });
+    scores_ = this->problem_.model->predict_gflops_chunked(rows, this->config_.batch);
+
+    // ---- rank by predicted GFLOPS ---------------------------------------
+    // Only the first `budget` ranks can ever be proposed, so a partial sort
+    // suffices — O(n log k) on the latency-critical cache-miss path.
+    order_.resize(candidates_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    const std::size_t k =
+        std::min<std::size_t>(std::max<std::size_t>(this->config_.budget, 1), order_.size());
+    std::partial_sort(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(k),
+                      order_.end(), [&](std::size_t a, std::size_t b) {
+                        if (scores_[a] != scores_[b]) return scores_[a] > scores_[b];
+                        return candidates_[a] < candidates_[b];  // deterministic tie-break
+                      });
+    order_.resize(k);
+  }
+
+  bool ranked_ = false;
+  std::vector<Choice> candidates_;
+  std::vector<double> scores_;
+  std::vector<std::size_t> order_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace isaac::search

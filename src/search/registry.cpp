@@ -1,0 +1,25 @@
+#include "search/factory.hpp"
+
+#include <algorithm>
+
+namespace isaac::search {
+
+const std::vector<std::string>& strategy_names() {
+  static const std::vector<std::string> names = {"exhaustive", "random", "genetic", "annealing",
+                                                 "model_topk"};
+  return names;
+}
+
+bool strategy_is_known(const std::string& name) {
+  const auto& names = strategy_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+bool strategy_is_model_free(const std::string& name) {
+  // Explicit allowlist: an unknown (or future model-guided) name must never
+  // be classified model-free by default — callers without a regressor rely
+  // on this answer before constructing the strategy.
+  return name == "exhaustive" || name == "random" || name == "genetic" || name == "annealing";
+}
+
+}  // namespace isaac::search

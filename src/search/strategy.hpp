@@ -1,0 +1,175 @@
+// The SearchStrategy<Op> contract — the pluggable heart of runtime tuning.
+//
+// A strategy walks the op's possible space X̂ through per-parameter choice
+// indices (tuning/search_space.hpp) and is driven by search::drive()
+// (search/driver.hpp) in propose/observe rounds:
+//
+//   1. propose(n)   — up to n *new, legality-checked* candidates. Proposals
+//                     are constraint-aware by construction: a strategy
+//                     consults SearchProblem::legal (codegen::validate) before
+//                     handing a candidate over, so the driver never spends a
+//                     unit of measurement budget on an illegal point.
+//   2. observe(c,y) — the measured GFLOPS of an earlier proposal, fed back so
+//                     adaptive strategies (genetic, annealing) can steer.
+//   3. repeat until the budget is exhausted or propose() returns empty
+//                     (space exhausted / strategy converged).
+//
+// Anytime semantics: the driver keeps every measured candidate, so stopping
+// after any prefix of the budget yields the best-so-far. Determinism: all
+// randomness flows from the Rng seeded by SearchConfig::seed, and strategies
+// are driven single-threaded, so equal (config, shape, device) runs produce
+// identical trajectories.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/operation.hpp"
+#include "gpusim/device.hpp"
+#include "mlp/regressor.hpp"
+#include "search/config.hpp"
+
+namespace isaac::search {
+
+/// Per-parameter value indices into the search space's domains.
+using Choice = std::vector<std::size_t>;
+
+/// Advance `c` one step in the lexicographic (odometer) enumeration of the
+/// domains' cartesian product; false when the odometer wraps around, i.e.
+/// every point has been visited. Shared by every strategy that enumerates X̂
+/// so they agree on visit order (the determinism and tie-break guarantees
+/// lean on it).
+inline bool advance_choice(Choice& c, const std::vector<tuning::ParameterDomain>& domains) {
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    if (++c[d] < domains[d].values.size()) return true;
+    c[d] = 0;
+  }
+  return false;
+}
+
+/// Everything a strategy may consult about the problem instance. Non-owning:
+/// the caller keeps shape/device/space/model alive for the search's duration.
+template <typename Op>
+struct SearchProblem {
+  using Traits = core::OperationTraits<Op>;
+  using Shape = typename Traits::Shape;
+  using Tuning = typename Traits::Tuning;
+  using Space = typename Traits::SearchSpace;
+
+  const Shape* shape = nullptr;
+  const gpusim::DeviceDescriptor* device = nullptr;
+  const Space* space = nullptr;
+  /// Optional: model-guided strategies require it, measurement-driven ones
+  /// (random/genetic/annealing/exhaustive) ignore it.
+  const mlp::Regressor* model = nullptr;
+
+  Tuning decode(const Choice& c) const { return space->decode(c); }
+  bool legal(const Choice& c) const {
+    return Traits::validate(*shape, space->decode(c), *device);
+  }
+  std::vector<double> featurize(const Tuning& t) const { return Traits::featurize(*shape, t); }
+};
+
+/// One candidate handed from a strategy to the driver. `predicted_gflops` is
+/// nonzero only for model-guided strategies.
+template <typename Tuning>
+struct Proposal {
+  Choice choice;
+  Tuning tuning{};
+  double predicted_gflops = 0.0;
+};
+
+template <typename Op>
+class SearchStrategy {
+ public:
+  using Traits = core::OperationTraits<Op>;
+  using Tuning = typename Traits::Tuning;
+
+  /// X̂ traffic: `visited` counts legality checks (points of X̂ touched),
+  /// `legal` the subset that passed codegen::validate.
+  struct Stats {
+    std::size_t visited = 0;
+    std::size_t legal = 0;
+  };
+
+  SearchStrategy(const SearchProblem<Op>& problem, const SearchConfig& config)
+      : problem_(problem), config_(config), rng_(config.seed) {}
+  virtual ~SearchStrategy() = default;
+
+  SearchStrategy(const SearchStrategy&) = delete;
+  SearchStrategy& operator=(const SearchStrategy&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// Up to `max_batch` new legal proposals; empty means the strategy is done.
+  virtual std::vector<Proposal<Tuning>> propose(std::size_t max_batch) = 0;
+
+  /// Measured feedback for a proposal returned earlier. Default: ignore
+  /// (non-adaptive strategies).
+  virtual void observe(const Choice& choice, double measured_gflops) {
+    (void)choice;
+    (void)measured_gflops;
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// |X̂| — the number of distinct points the strategy could ever propose.
+  /// The driver clamps the evaluation budget to it so "unlimited" budgets
+  /// terminate even for strategies that never stop proposing (the GA's
+  /// fallback re-proposals, the annealer's restarts).
+  std::size_t space_points() const { return problem_.space->size(); }
+
+ protected:
+  /// Counted legality check — every strategy funnels X̂ probes through here
+  /// so TuneResult::enumerated/legal stay meaningful across strategies.
+  bool check(const Choice& c) {
+    ++stats_.visited;
+    if (!problem_.legal(c)) return false;
+    ++stats_.legal;
+    return true;
+  }
+
+  Proposal<Tuning> make_proposal(Choice c, double predicted = 0.0) const {
+    Proposal<Tuning> p;
+    p.tuning = problem_.decode(c);
+    p.choice = std::move(c);
+    p.predicted_gflops = predicted;
+    return p;
+  }
+
+  /// Uniform draw of a choice vector from X̂ (not legality-checked).
+  Choice random_choice() {
+    const auto& domains = problem_.space->domains();
+    Choice c(domains.size());
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      c[d] = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(domains[d].values.size()) - 1));
+    }
+    return c;
+  }
+
+  /// Guaranteed legal-point finder for sparse legal spaces where rejection
+  /// sampling runs dry (legal fractions of 1e-4 and below exist): walk X̂
+  /// lexicographically from `start`, wrapping around, until a legal point
+  /// turns up. Returns nullopt only when the legal space is truly empty —
+  /// the old exhaustive path's guarantee, restored as a fallback.
+  std::optional<Choice> scan_for_legal(Choice start) {
+    const auto& domains = problem_.space->domains();
+    if (start.size() != domains.size()) start.assign(domains.size(), 0);
+    Choice c = start;
+    do {
+      if (check(c)) return c;
+      if (!advance_choice(c, domains)) c.assign(domains.size(), 0);  // wrap
+    } while (c != start);
+    return std::nullopt;
+  }
+
+  SearchProblem<Op> problem_;
+  SearchConfig config_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace isaac::search

@@ -1,5 +1,6 @@
 #include "tuning/search_space.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace isaac::tuning {
@@ -34,6 +35,19 @@ void cartesian_for_each(const std::vector<ParameterDomain>& domains, const Decod
     }
     if (d == domains.size()) return;
   }
+}
+
+/// Find each field value's index in its domain; false when any is absent.
+bool encode_values(const std::vector<ParameterDomain>& domains, const std::vector<int>& values,
+                   std::vector<std::size_t>& choice) {
+  choice.assign(domains.size(), 0);
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    const auto& list = domains[d].values;
+    const auto it = std::find(list.begin(), list.end(), values[d]);
+    if (it == list.end()) return false;
+    choice[d] = static_cast<std::size_t>(it - list.begin());
+  }
+  return true;
 }
 
 std::vector<std::size_t> uniform_choice(const std::vector<ParameterDomain>& domains, Rng& rng) {
@@ -79,6 +93,12 @@ codegen::GemmTuning GemmSearchSpace::decode(const std::vector<std::size_t>& choi
   t.kg = domains_[7].values[choice[7]];
   t.vec = domains_[8].values[choice[8]];
   return t;
+}
+
+bool GemmSearchSpace::encode(const codegen::GemmTuning& t,
+                             std::vector<std::size_t>& choice) const {
+  return encode_values(domains_, {t.ms, t.ns, t.ml, t.nl, t.u, t.ks, t.kl, t.kg, t.vec},
+                       choice);
 }
 
 codegen::GemmTuning GemmSearchSpace::sample_uniform(Rng& rng,
@@ -138,6 +158,13 @@ codegen::ConvTuning ConvSearchSpace::decode(const std::vector<std::size_t>& choi
   t.cl = domains_[9].values[choice[9]];
   t.cg = domains_[10].values[choice[10]];
   return t;
+}
+
+bool ConvSearchSpace::encode(const codegen::ConvTuning& t,
+                             std::vector<std::size_t>& choice) const {
+  return encode_values(domains_,
+                       {t.tk, t.tp, t.tq, t.tn, t.bk, t.bp, t.bq, t.bn, t.u, t.cl, t.cg},
+                       choice);
 }
 
 codegen::ConvTuning ConvSearchSpace::sample_uniform(Rng& rng,

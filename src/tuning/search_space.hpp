@@ -41,6 +41,11 @@ class GemmSearchSpace {
   /// Decode per-parameter value indices into a tuning struct.
   codegen::GemmTuning decode(const std::vector<std::size_t>& choice) const;
 
+  /// Inverse of decode: find the index vector producing `t`. False when some
+  /// field's value is not in this space's domains (e.g. a KG > 1 seed against
+  /// the batched space) — the tuning then lies outside X̂.
+  bool encode(const codegen::GemmTuning& t, std::vector<std::size_t>& choice) const;
+
   /// Uniform draw from X̂.
   codegen::GemmTuning sample_uniform(Rng& rng, std::vector<std::size_t>* choice = nullptr) const;
 
@@ -68,10 +73,14 @@ class ConvSearchSpace {
   std::size_t size() const noexcept;
 
   codegen::ConvTuning decode(const std::vector<std::size_t>& choice) const;
+  bool encode(const codegen::ConvTuning& t, std::vector<std::size_t>& choice) const;
   codegen::ConvTuning sample_uniform(Rng& rng, std::vector<std::size_t>* choice = nullptr) const;
   void for_each(const std::function<bool(const codegen::ConvTuning&)>& fn) const;
 
- private:
+ protected:
+  // Protected (like GemmSearchSpace's) so restricted spaces — e.g. a
+  // seed-grid core for search-strategy comparisons — can subclass and narrow
+  // the domains.
   std::vector<ParameterDomain> domains_;
 };
 

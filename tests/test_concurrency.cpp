@@ -41,9 +41,9 @@ const mlp::Regressor& shared_model() {
 
 ContextOptions fast_options() {
   ContextOptions opts;
-  opts.inference.top_k = 10;
-  opts.inference.reeval_reps = 3;
-  opts.inference.max_candidates = 8000;
+  opts.search.budget = 10;
+  opts.search.reeval_reps = 3;
+  opts.search.max_candidates = 8000;
   return opts;
 }
 
@@ -51,7 +51,7 @@ ContextOptions fast_options() {
 /// executor stays cheap under thousands of calls.
 std::vector<codegen::GemmShape> stress_shapes() {
   std::vector<codegen::GemmShape> shapes;
-  for (const auto [m, n, k] : {std::tuple{48, 32, 96}, std::tuple{64, 16, 128},
+  for (const auto& [m, n, k] : {std::tuple{48, 32, 96}, std::tuple{64, 16, 128},
                                std::tuple{32, 48, 64}, std::tuple{96, 24, 80},
                                std::tuple{40, 40, 120}, std::tuple{56, 8, 144}}) {
     codegen::GemmShape s;

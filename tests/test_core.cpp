@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "codegen/batched_gemm_executor.hpp"
@@ -32,9 +33,9 @@ const mlp::Regressor& shared_model() {
   return model;
 }
 
-InferenceConfig fast_inference() {
-  InferenceConfig cfg;
-  cfg.top_k = 20;
+search::SearchConfig fast_inference() {
+  search::SearchConfig cfg;
+  cfg.budget = 20;  // measured re-timings (the old top-k)
   cfg.reeval_reps = 3;
   cfg.max_candidates = 20000;
   return cfg;
@@ -92,7 +93,7 @@ TEST(Inference, DeepReductionGetsSplit) {
 TEST(Inference, ConvTuningWorks) {
   gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
   const auto shape = codegen::ConvShape::from_npq(8, 54, 54, 64, 64, 3, 3);
-  InferenceConfig cfg = fast_inference();
+  search::SearchConfig cfg = fast_inference();
   cfg.max_candidates = 5000;
   const auto result = tune_conv(shape, shared_model(), sim, cfg);
   EXPECT_GT(result.best.measured_gflops, 0.0);
@@ -219,10 +220,63 @@ TEST(ProfileCache, BatchedGemmPersistsAcrossInstances) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ProfileCache, RecordsSearchProvenance) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "isaac_cache_meta_test").string();
+  std::filesystem::remove_all(dir);
+  codegen::GemmShape shape;
+  shape.m = shape.n = shape.k = 384;
+  codegen::GemmTuning t;
+  t.ml = 32;
+  const std::string key = ProfileCache::key<GemmOp>("p100", shape);
+  {
+    ProfileCache cache(dir);
+    cache.store<GemmOp>("p100", shape, t, ProfileCache::provenance("genetic", 64));
+    EXPECT_EQ(cache.meta(key), "strategy=genetic;budget=64");
+  }
+  // The provenance column survives the disk round trip.
+  ProfileCache reloaded(dir);
+  ASSERT_TRUE(reloaded.lookup<GemmOp>("p100", shape).has_value());
+  EXPECT_EQ(reloaded.meta(key), "strategy=genetic;budget=64");
+  EXPECT_FALSE(reloaded.meta("no|such|key").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileCache, ReadsPreProvenanceSchemas) {
+  // Both older on-disk formats must still load: two-column key \t value, and
+  // the original three-column kind \t key \t value.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "isaac_cache_legacy_test").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  codegen::GemmShape two, three;
+  two.m = two.n = two.k = 128;
+  three.m = three.n = three.k = 256;
+  codegen::GemmTuning t;
+  t.nl = 16;
+  {
+    std::ofstream os(std::filesystem::path(dir) / "isaac_profiles.txt");
+    os << ProfileCache::key<GemmOp>("p100", two) << '\t'
+       << OperationTraits<GemmOp>::encode_tuning(t) << '\n';
+    os << "gemm\t" << ProfileCache::key<GemmOp>("p100", three) << '\t'
+       << OperationTraits<GemmOp>::encode_tuning(t) << '\n';
+  }
+  ProfileCache cache(dir);
+  const auto got_two = cache.lookup<GemmOp>("p100", two);
+  const auto got_three = cache.lookup<GemmOp>("p100", three);
+  ASSERT_TRUE(got_two.has_value());
+  ASSERT_TRUE(got_three.has_value());
+  EXPECT_EQ(got_two->nl, 16);
+  EXPECT_EQ(got_three->nl, 16);
+  // Legacy entries carry no provenance.
+  EXPECT_EQ(cache.meta(ProfileCache::key<GemmOp>("p100", two)), "");
+  std::filesystem::remove_all(dir);
+}
+
 // ------------------------------------------------------------------ context --
 TEST(Context, GemmEndToEndProducesCorrectNumerics) {
   ContextOptions opts;
-  opts.inference = fast_inference();
+  opts.search = fast_inference();
   Context ctx(gpusim::tesla_p100(), opts);
   ctx.set_model(shared_model());
 
@@ -258,12 +312,17 @@ TEST(Context, GemmEndToEndProducesCorrectNumerics) {
                               c2.data(), shape.m);
   EXPECT_TRUE(info2.from_cache);
   EXPECT_EQ(info2.tuning, info.tuning);
+
+  // The cached selection records which strategy and budget produced it.
+  const auto meta = ctx.cache().meta(ProfileCache::key<GemmOp>(ctx.device().name, shape));
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(*meta, ProfileCache::provenance("model_topk", 20));
 }
 
 TEST(Context, ConvEndToEnd) {
   ContextOptions opts;
-  opts.inference = fast_inference();
-  opts.inference.max_candidates = 4000;
+  opts.search = fast_inference();
+  opts.search.max_candidates = 4000;
   Context ctx(gpusim::tesla_p100(), opts);
   ctx.set_model(shared_model());
 
@@ -289,7 +348,7 @@ TEST(Context, ConvEndToEnd) {
 
 TEST(Context, BatchedGemmEndToEndProducesCorrectNumerics) {
   ContextOptions opts;
-  opts.inference = fast_inference();
+  opts.search = fast_inference();
   Context ctx(gpusim::tesla_p100(), opts);
   ctx.set_model(shared_model());
 
@@ -343,7 +402,7 @@ TEST(Context, RequiresModel) {
 
 TEST(Context, TrainModelProducesUsableModel) {
   ContextOptions opts;
-  opts.inference = fast_inference();
+  opts.search = fast_inference();
   Context ctx(gpusim::gtx980ti(), opts);
   ctx.train_model(/*samples=*/1200, /*epochs=*/6);
   EXPECT_TRUE(ctx.has_model());
