@@ -12,8 +12,13 @@
 // across an evaluation-budget ladder on a fixed shape set, emitting one JSON
 // line per (strategy, budget, shape) so the tuning-quality/cost trajectory
 // can be tracked and diffed across PRs.
+//
+// Dispatch-latency mode: `--dispatch_latency` times cold `select()` calls
+// under two-tier dispatch vs blocking tuning (p50/p99 per mode, speedup,
+// refined-entry agreement) — the headline number for the tier-1 fast path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +27,7 @@
 
 #include "codegen/gemm.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "core/isaac.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/simulator.hpp"
@@ -169,6 +175,7 @@ void BM_DispatchThroughput(benchmark::State& state) {
   const auto shapes = dispatch_shapes();
   if (state.thread_index() == 0) {
     ctx.warmup(shapes).wait();  // all shapes hot before timing starts
+    ctx.drain_background();     // …and fully refined: no tuning noise in-loop
   }
 
   // Per-thread buffers sized for the largest shape.
@@ -191,6 +198,7 @@ void BM_DispatchSelectOnly(benchmark::State& state) {
   const auto shapes = dispatch_shapes();
   if (state.thread_index() == 0) {
     ctx.warmup(shapes).wait();
+    ctx.drain_background();
   }
   std::size_t i = 0;
   for (auto _ : state) {
@@ -210,6 +218,86 @@ void BM_GenerativeSampling(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GenerativeSampling);
+
+// ------------------------------------------------------- dispatch latency --
+
+/// Cold-dispatch latency mode: `--dispatch_latency` times the first
+/// `select()` for a grid of distinct cold shapes under two-tier dispatch
+/// (tier 1: the model's instant argmax + background refinement) and under
+/// blocking tuning, reporting p50/p99 per mode, the speedup, and how often
+/// the refined entry agrees with the blocking search's selection. One JSON
+/// line per mode plus a summary line on stdout.
+int run_dispatch_latency() {
+  const auto& m = model();
+
+  // Distinct cold shapes spanning square, skinny and deep regimes.
+  std::vector<codegen::GemmShape> shapes;
+  for (const std::int64_t base : {64, 96, 128, 192, 256, 384, 512, 768}) {
+    for (const std::int64_t n : {16, 48, 133, 301, 512, 1024}) {
+      codegen::GemmShape s;
+      s.m = base;
+      s.n = n;
+      s.k = base + n;  // keep every (m, n, k) distinct
+      shapes.push_back(s);
+    }
+  }
+
+  core::ContextOptions opts = dispatch_options();
+  opts.noise_sigma = 0.0;  // deterministic measurements: selections comparable
+  core::Context fast(gpusim::tesla_p100(), opts);
+  fast.set_model(m);
+  auto blocking_opts = opts;
+  blocking_opts.two_tier = false;
+  core::Context blocking(gpusim::tesla_p100(), blocking_opts);
+  blocking.set_model(m);
+
+  const auto time_select_us = [](core::Context& ctx, const codegen::GemmShape& shape) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ctx.select<core::GemmOp>(shape);
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  std::vector<double> fast_us, blocking_us;
+  fast_us.reserve(shapes.size());
+  blocking_us.reserve(shapes.size());
+  for (const auto& shape : shapes) {
+    fast_us.push_back(time_select_us(fast, shape));
+    // Land the refinement outside the timed section: each sample then
+    // measures the pure tier-1 path instead of racing the previous shape's
+    // background search for cores (which would swamp p99 on small CI
+    // runners; refinement/dispatch overlap is the throughput benches' job).
+    fast.drain_background();
+  }
+  for (const auto& shape : shapes) blocking_us.push_back(time_select_us(blocking, shape));
+
+  std::size_t agree = 0;
+  const std::string& dev = fast.device().name;
+  for (const auto& shape : shapes) {
+    const auto refined = fast.cache().lookup<core::GemmOp>(dev, shape);
+    const auto truth = blocking.cache().lookup<core::GemmOp>(dev, shape);
+    if (refined && truth && *refined == *truth) ++agree;
+  }
+
+  const auto emit = [&](const char* mode, const std::vector<double>& us) {
+    std::printf(
+        "{\"bench\":\"dispatch_latency\",\"op\":\"gemm\",\"mode\":\"%s\","
+        "\"cold_shapes\":%zu,\"p50_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f}\n",
+        mode, us.size(), stats::percentile(us, 0.50), stats::percentile(us, 0.99),
+        *std::max_element(us.begin(), us.end()));
+  };
+  emit("two_tier", fast_us);
+  emit("blocking", blocking_us);
+  std::printf(
+      "{\"bench\":\"dispatch_latency\",\"op\":\"gemm\",\"mode\":\"summary\","
+      "\"p99_speedup\":%.1f,\"refined_agreement\":%.3f,\"predictions\":%zu,"
+      "\"refinements\":%zu}\n",
+      stats::percentile(blocking_us, 0.99) / stats::percentile(fast_us, 0.99),
+      static_cast<double>(agree) / static_cast<double>(shapes.size()), fast.predictions(),
+      fast.refinements());
+  std::fflush(stdout);
+  return 0;
+}
 
 // ------------------------------------------------------------ search sweep --
 
@@ -272,6 +360,7 @@ int run_search_sweep() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--search_sweep") return run_search_sweep();
+    if (std::string(argv[i]) == "--dispatch_latency") return run_dispatch_latency();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -66,6 +66,7 @@ struct ParallelForState {
   std::condition_variable done_cv;
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::size_t first_error_chunk = 0;
 
   void run_chunks() {
     while (true) {
@@ -76,8 +77,13 @@ struct ParallelForState {
       try {
         fn(begin, end);
       } catch (...) {
+        // First error *by index order* wins, not by wall-clock race: the
+        // caller sees the same exception no matter how chunks interleave.
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error || c < first_error_chunk) {
+          first_error = std::current_exception();
+          first_error_chunk = c;
+        }
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
         std::lock_guard<std::mutex> lock(done_mutex);

@@ -95,7 +95,15 @@ TuneResult<typename OperationTraits<Op>::Tuning> tune(
   result.enumerated = strategy->stats().visited;
   result.legal = strategy->stats().legal;
   if (result.top.empty()) {
-    throw std::runtime_error("tune: no legal configuration for this shape/device");
+    // The strategy proposed nothing measurable (every candidate illegal for
+    // this degenerate shape, or the space empty): without this check the
+    // caller would receive a value-initialized "best". Fail loudly and say
+    // what was tried.
+    throw std::runtime_error(std::string("tune: no legal ") + Traits::kind() +
+                             " configuration for shape " + shape.to_string() + " (strategy " +
+                             resolved.strategy + ", " + std::to_string(result.legal) +
+                             " legal of " + std::to_string(result.enumerated) +
+                             " visited points)");
   }
 
   std::sort(result.top.begin(), result.top.end(), better);
@@ -110,6 +118,51 @@ TuneResult<typename OperationTraits<Op>::Tuning> tune(
   return result;
 }
 
+/// Tier-1 dispatch: the model's argmax over a bounded, measurement-free probe
+/// of the legal space. Reuses ModelGuidedTopK's ranking core with k = 1; the
+/// strided probe bounds the work, the seed-grid re-append guarantees a sane
+/// candidate whenever any seed is legal, and the dense sweep is the last
+/// resort before declaring the shape untunable.
+template <typename Op>
+PredictResult<typename OperationTraits<Op>::Tuning> predict(
+    const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,
+    const gpusim::DeviceDescriptor& device, const search::SearchConfig& config) {
+  using Traits = OperationTraits<Op>;
+
+  search::SearchConfig resolved = resolve_config<Op>(config);
+  // Ops that rank densely resolve max_candidates to 0, which would make the
+  // probe sweep all of X̂ — the blocking path's fixed cost. Tier-1 latency
+  // requires bounded work, so cap the probe regardless.
+  constexpr std::size_t kDefaultProbeCap = 8192;
+  if (resolved.max_candidates == 0) resolved.max_candidates = kDefaultProbeCap;
+  const typename Traits::SearchSpace space;
+  search::SearchProblem<Op> problem;
+  problem.shape = &shape;
+  problem.device = &device;
+  problem.space = &space;
+  problem.model = &model;
+
+  PredictResult<typename Traits::Tuning> result;
+  auto ranked = search::rank_strided_probe(problem, resolved, /*top_k=*/1);
+  if (ranked.order.empty()) {
+    // Sparse legal set the stride (and every seed) missed: sweep X̂ densely —
+    // still zero measurements — before giving up.
+    ranked = search::rank_legal_space(problem, resolved, /*top_k=*/1);
+    result.dense_fallback = true;
+  }
+  result.enumerated = ranked.visited;
+  result.legal = ranked.legal;
+  if (ranked.order.empty()) {
+    throw std::runtime_error(std::string("predict: no legal ") + Traits::kind() +
+                             " configuration for shape " + shape.to_string() + " (" +
+                             std::to_string(ranked.visited) + " points checked)");
+  }
+  const std::size_t i = ranked.order.front();
+  result.tuning = space.decode(ranked.candidates[i]);
+  result.predicted_gflops = ranked.scores[i];
+  return result;
+}
+
 template GemmTuneResult tune<GemmOp>(const codegen::GemmShape&, const mlp::Regressor&,
                                      const gpusim::Simulator&, const search::SearchConfig&);
 template ConvTuneResult tune<ConvOp>(const codegen::ConvShape&, const mlp::Regressor&,
@@ -118,5 +171,15 @@ template BatchedGemmTuneResult tune<BatchedGemmOp>(const codegen::BatchedGemmSha
                                                    const mlp::Regressor&,
                                                    const gpusim::Simulator&,
                                                    const search::SearchConfig&);
+template GemmPredictResult predict<GemmOp>(const codegen::GemmShape&, const mlp::Regressor&,
+                                           const gpusim::DeviceDescriptor&,
+                                           const search::SearchConfig&);
+template ConvPredictResult predict<ConvOp>(const codegen::ConvShape&, const mlp::Regressor&,
+                                           const gpusim::DeviceDescriptor&,
+                                           const search::SearchConfig&);
+template BatchedGemmPredictResult predict<BatchedGemmOp>(const codegen::BatchedGemmShape&,
+                                                         const mlp::Regressor&,
+                                                         const gpusim::DeviceDescriptor&,
+                                                         const search::SearchConfig&);
 
 }  // namespace isaac::core

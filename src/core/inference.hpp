@@ -48,6 +48,20 @@ using GemmTuneResult = TuneResult<codegen::GemmTuning>;
 using ConvTuneResult = TuneResult<codegen::ConvTuning>;
 using BatchedGemmTuneResult = TuneResult<codegen::GemmTuning>;
 
+/// A zero-measurement model decision (the dispatch fast path's tier 1).
+template <typename Tuning>
+struct PredictResult {
+  Tuning tuning{};                // the model's argmax over the probed legal set
+  double predicted_gflops = 0.0;
+  std::size_t enumerated = 0;     // X̂ points legality-checked
+  std::size_t legal = 0;          // subset that passed validation
+  bool dense_fallback = false;    // strided probe found nothing legal; swept X̂
+};
+
+using GemmPredictResult = PredictResult<codegen::GemmTuning>;
+using ConvPredictResult = PredictResult<codegen::ConvTuning>;
+using BatchedGemmPredictResult = PredictResult<codegen::GemmTuning>;
+
 /// Optimize the model over Op's tuning parameters for `shape` with the
 /// configured strategy and budget (zero-valued SearchConfig fields resolve
 /// against OperationTraits<Op>::default_search()). Throws std::runtime_error
@@ -59,6 +73,20 @@ TuneResult<typename OperationTraits<Op>::Tuning> tune(
     const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,
     const gpusim::Simulator& sim, const search::SearchConfig& config = {});
 
+/// The model's argmax over a bounded probe of the legal space — tune<Op>()'s
+/// tier-1 sibling, factored out of ModelGuidedTopK's ranking core. Spends
+/// *zero* device measurements: at most SearchConfig::max_candidates legality
+/// checks (deterministic flat-index striding of X̂, seed grid always
+/// re-appended) plus one batched model pass, so a cold dispatch answers in
+/// ranking time instead of search time. Degenerate shapes whose sparse legal
+/// set the stride misses fall back to a dense legality sweep (still
+/// measurement-free); throws std::runtime_error only when no legal
+/// configuration exists at all. Thread-safe like tune<Op>().
+template <typename Op>
+PredictResult<typename OperationTraits<Op>::Tuning> predict(
+    const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,
+    const gpusim::DeviceDescriptor& device, const search::SearchConfig& config = {});
+
 extern template GemmTuneResult tune<GemmOp>(const codegen::GemmShape&, const mlp::Regressor&,
                                             const gpusim::Simulator&,
                                             const search::SearchConfig&);
@@ -69,6 +97,17 @@ extern template BatchedGemmTuneResult tune<BatchedGemmOp>(const codegen::Batched
                                                           const mlp::Regressor&,
                                                           const gpusim::Simulator&,
                                                           const search::SearchConfig&);
+extern template GemmPredictResult predict<GemmOp>(const codegen::GemmShape&,
+                                                  const mlp::Regressor&,
+                                                  const gpusim::DeviceDescriptor&,
+                                                  const search::SearchConfig&);
+extern template ConvPredictResult predict<ConvOp>(const codegen::ConvShape&,
+                                                  const mlp::Regressor&,
+                                                  const gpusim::DeviceDescriptor&,
+                                                  const search::SearchConfig&);
+extern template BatchedGemmPredictResult predict<BatchedGemmOp>(
+    const codegen::BatchedGemmShape&, const mlp::Regressor&, const gpusim::DeviceDescriptor&,
+    const search::SearchConfig&);
 
 inline GemmTuneResult tune_gemm(const codegen::GemmShape& shape, const mlp::Regressor& model,
                                 const gpusim::Simulator& sim,

@@ -11,9 +11,11 @@ Context::Context(const gpusim::DeviceDescriptor& device, ContextOptions options)
       options_(std::move(options)),
       cache_(options_.cache_dir) {}
 
-Context::~Context() {
-  std::unique_lock<std::mutex> lock(warmup_mutex_);
-  warmup_cv_.wait(lock, [this] { return warmup_pending_ == 0; });
+Context::~Context() { drain_background(); }
+
+void Context::drain_background() {
+  std::unique_lock<std::mutex> lock(background_mutex_);
+  background_cv_.wait(lock, [this] { return background_pending_ == 0; });
 }
 
 void Context::train_model(std::size_t samples, int epochs) {

@@ -10,10 +10,17 @@
 //   auto info = ctx.gemm(shape, 1.0f, A, lda, B, ldb, 0.0f, C, ldc);
 //   // C now holds the product; info reports the selected kernel + timing.
 //
-// The Context is safe to share across threads: the profile cache is guarded
-// by a shared mutex, and concurrent misses on the same (device, shape)
-// coalesce into a single tuning run (single-flight) that the other callers
+// The Context is safe to share across threads: the profile cache is sharded
+// behind per-bucket shared mutexes, and concurrent misses on the same
+// (device, shape) coalesce into a single-flight leader the other callers
 // wait on. warmup() pre-tunes a shape list asynchronously on the thread pool.
+//
+// Dispatch is two-tier (the paper's point: runtime inference replaces
+// on-the-fly measurement). A cold select() answers with the model's instant
+// argmax — zero device measurements on the calling thread — stores the entry
+// as *provisional*, and enqueues a background refinement that runs the
+// configured full search and upgrades the entry in place. See DESIGN.md,
+// "Two-tier dispatch".
 #pragma once
 
 #include <atomic>
@@ -25,9 +32,11 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "core/inference.hpp"
 #include "core/operation.hpp"
@@ -45,6 +54,12 @@ struct ContextOptions {
   /// Strategy + budget every tuning run dispatches through (zero-valued
   /// fields resolve against the op's OperationTraits::default_search()).
   search::SearchConfig search;
+  /// Two-tier dispatch (default): a cold select() with a trained model
+  /// returns the model's argmax instantly (provisional tier, no device
+  /// measurement on the calling thread) and refines in the background.
+  /// false = every cold select() blocks on the full configured search — the
+  /// pre-two-tier behavior, still what model-less Contexts do.
+  bool two_tier = true;
 };
 
 /// What a tuned call reports back.
@@ -53,8 +68,15 @@ struct CallInfo {
   typename OperationTraits<Op>::Tuning tuning{};  // selected kernel
   double simulated_seconds = 0.0;                 // device-model execution time
   double gflops = 0.0;                            // useful FLOPs / simulated time
-  bool from_cache = false;  // true when the kernel was already tuned (by disk
-                            // cache, a previous call, or a concurrent tuner)
+  bool from_cache = false;  // true when the kernel came out of an existing
+                            // cache entry (disk, a previous call, or a
+                            // concurrent leader) — provisional or refined;
+                            // false when this call was the leader that
+                            // produced the selection (a tier-1 prediction
+                            // under two-tier dispatch, a full blocking
+                            // search otherwise)
+  bool provisional = false;  // the served entry was a tier-1 model prediction
+                             // whose background refinement has not landed yet
 };
 
 using GemmCallInfo = CallInfo<GemmOp>;
@@ -65,9 +87,9 @@ class Context {
  public:
   explicit Context(const gpusim::DeviceDescriptor& device, ContextOptions options = {});
 
-  /// Blocks until every outstanding warmup task has finished: warmup tasks
-  /// run on the global pool and reference this Context, so an abandoned
-  /// warmup future must not outlive it.
+  /// Blocks until every outstanding background task — warmup selections and
+  /// two-tier refinements — has finished: they run on the global pool and
+  /// reference this Context, so none may outlive it.
   ~Context();
 
   const gpusim::DeviceDescriptor& device() const noexcept { return sim_.device(); }
@@ -103,7 +125,9 @@ class Context {
   template <typename Op, typename... Args>
   CallInfo<Op> run(const typename OperationTraits<Op>::Shape& shape, Args&&... args) {
     CallInfo<Op> info;
-    info.tuning = select<Op>(shape, &info.from_cache);
+    EntryTier tier = EntryTier::refined;
+    info.tuning = select<Op>(shape, &info.from_cache, &tier);
+    info.provisional = tier == EntryTier::provisional;
     OperationTraits<Op>::execute(shape, info.tuning, std::forward<Args>(args)...);
     const auto timing =
         sim_.launch_median(OperationTraits<Op>::analyze(shape, info.tuning, sim_.device()), 3);
@@ -143,54 +167,97 @@ class Context {
                               stride_c);
   }
 
-  /// Cached kernel selection with single-flight coalescing: a cache hit
-  /// returns immediately; on a miss, the first caller tunes while concurrent
-  /// callers for the same (device, shape) block on its result. `from_cache`
-  /// (optional) reports whether this caller avoided a tuning run.
+  /// Cached kernel selection with single-flight coalescing. A cache hit
+  /// returns immediately. On a miss the first caller leads; under two-tier
+  /// dispatch (the default, with a model) the leader answers with the
+  /// model's zero-measurement argmax, stores it provisional and hands the
+  /// full search to a background refinement task, while concurrent callers
+  /// for the same (device, shape) block only on that ranking-time
+  /// prediction. With two_tier off (or no model) the leader blocks on the
+  /// configured search. `from_cache` (optional) reports whether this caller
+  /// avoided leading; `tier` (optional) reports the served entry's tier.
   template <typename Op>
   typename OperationTraits<Op>::Tuning select(const typename OperationTraits<Op>::Shape& shape,
-                                              bool* from_cache = nullptr);
+                                              bool* from_cache = nullptr,
+                                              EntryTier* tier = nullptr);
 
   /// Pre-tune a list of shapes asynchronously on the global thread pool; the
   /// returned future becomes ready when every shape is cached (exceptional if
-  /// any tuning failed). Dropping the future is safe: ~Context waits for
-  /// outstanding warmup tasks before tearing the Context down.
+  /// any selection failed). Under two-tier dispatch "cached" means at least
+  /// provisional — refinements may still be in flight when the future
+  /// resolves; drain_background() waits for those too. Dropping the future
+  /// is safe: ~Context waits for outstanding background tasks before tearing
+  /// the Context down.
   template <typename Op>
   std::future<void> warmup(std::vector<typename OperationTraits<Op>::Shape> shapes);
   std::future<void> warmup(std::vector<codegen::GemmShape> shapes) {
     return warmup<GemmOp>(std::move(shapes));
   }
 
-  /// Number of tuning searches this Context has performed — with
-  /// single-flight dispatch this is exactly one per distinct cold shape, no
-  /// matter how many threads raced on it.
+  /// Block until no warmup or refinement task is outstanding. After this,
+  /// every entry whose refinement was pending has reached its final tier.
+  void drain_background();
+
+  /// Number of full tuning searches this Context has performed (blocking
+  /// leaders + completed background refinements) — with single-flight
+  /// dispatch and exactly-once refinement this converges to one per distinct
+  /// cold shape once drained, no matter how many threads raced.
   std::size_t tuning_runs() const noexcept { return tuning_runs_.load(); }
+
+  /// Tier-1 selections served: cold shapes answered with the model's instant
+  /// argmax instead of a blocking search.
+  std::size_t predictions() const noexcept { return predictions_.load(); }
+
+  /// Background refinements that completed and upgraded their entry.
+  std::size_t refinements() const noexcept { return refinements_.load(); }
 
   ProfileCache& cache() noexcept { return cache_; }
 
  private:
+  /// Enqueue the background refinement for `key` unless one is already
+  /// pending (or already landed). The refining set is the exactly-once gate:
+  /// whoever wins the insert owns the refinement; keys stay in the set after
+  /// a successful upgrade so a stale "provisional" observation can never
+  /// double-refine, and are erased on failure so a later hit may retry.
+  template <typename Op>
+  void maybe_refine(const std::string& key, const typename OperationTraits<Op>::Shape& shape);
+
   gpusim::Simulator sim_;
   ContextOptions options_;
   std::optional<mlp::Regressor> model_;
   ProfileCache cache_;
 
   // Single-flight state: key -> future completed once the key is in cache_.
+  // refining_ holds keys whose background refinement is pending or done (see
+  // maybe_refine).
   std::mutex inflight_mutex_;
   std::unordered_map<std::string, std::shared_future<void>> inflight_;
+  std::unordered_set<std::string> refining_;
   std::atomic<std::size_t> tuning_runs_{0};
+  std::atomic<std::size_t> predictions_{0};
+  std::atomic<std::size_t> refinements_{0};
 
-  // Outstanding warmup tasks (they capture `this`); ~Context waits on zero.
-  std::mutex warmup_mutex_;
-  std::condition_variable warmup_cv_;
-  std::size_t warmup_pending_ = 0;
+  // Outstanding background tasks — warmup selections and refinements (they
+  // capture `this`); ~Context waits on zero.
+  std::mutex background_mutex_;
+  std::condition_variable background_cv_;
+  std::size_t background_pending_ = 0;
 };
 
 template <typename Op>
 typename OperationTraits<Op>::Tuning Context::select(
-    const typename OperationTraits<Op>::Shape& shape, bool* from_cache) {
+    const typename OperationTraits<Op>::Shape& shape, bool* from_cache, EntryTier* tier) {
   const std::string& dev = device().name;
-  if (const auto cached = cache_.lookup<Op>(dev, shape)) {
+  EntryTier hit_tier = EntryTier::refined;
+  if (const auto cached = cache_.lookup<Op>(dev, shape, &hit_tier)) {
+    if (hit_tier == EntryTier::provisional) {
+      // Normally a no-op (the leader already owns the refinement); this
+      // re-arms refinement for provisional entries loaded from disk, whose
+      // producing process died before upgrading them.
+      maybe_refine<Op>(ProfileCache::key<Op>(dev, shape), shape);
+    }
     if (from_cache) *from_cache = true;
+    if (tier) *tier = hit_tier;
     return *cached;
   }
 
@@ -203,8 +270,9 @@ typename OperationTraits<Op>::Tuning Context::select(
       std::lock_guard<std::mutex> lock(inflight_mutex_);
       // Re-check under the lock: a leader stores to cache before erasing its
       // flight, so a miss here plus an absent flight really means cold.
-      if (const auto cached = cache_.lookup<Op>(dev, shape)) {
+      if (const auto cached = cache_.lookup<Op>(dev, shape, &hit_tier)) {
         if (from_cache) *from_cache = true;
+        if (tier) *tier = hit_tier;
         return *cached;
       }
       const auto it = inflight_.find(key);
@@ -219,15 +287,28 @@ typename OperationTraits<Op>::Tuning Context::select(
 
     if (leader) {
       std::optional<typename OperationTraits<Op>::Tuning> winner;
+      EntryTier winner_tier = EntryTier::refined;
       std::exception_ptr error;
       try {
-        const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
-        // Provenance records the evaluations actually spent (≤ the requested
-        // budget): truthful even for "unlimited" sweeps.
-        cache_.store<Op>(dev, shape, result.best.tuning,
-                         ProfileCache::provenance(result.strategy, result.measured));
-        tuning_runs_.fetch_add(1, std::memory_order_relaxed);
-        winner = result.best.tuning;
+        if (options_.two_tier && has_model()) {
+          // Tier 1: the model's argmax, zero measurements on this thread.
+          const auto pred = core::predict<Op>(shape, model(), sim_.device(), options_.search);
+          cache_.store<Op>(dev, shape, pred.tuning,
+                           ProfileCache::provenance("predict", 0, EntryTier::provisional));
+          predictions_.fetch_add(1, std::memory_order_relaxed);
+          winner = pred.tuning;
+          winner_tier = EntryTier::provisional;
+          maybe_refine<Op>(key, shape);
+        } else {
+          const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
+          // Provenance records the evaluations actually spent (≤ the
+          // requested budget): truthful even for "unlimited" sweeps.
+          cache_.store<Op>(dev, shape, result.best.tuning,
+                           ProfileCache::provenance(result.strategy, result.measured,
+                                                    EntryTier::refined));
+          tuning_runs_.fetch_add(1, std::memory_order_relaxed);
+          winner = result.best.tuning;
+        }
         promise.set_value();
       } catch (...) {
         error = std::current_exception();
@@ -239,6 +320,7 @@ typename OperationTraits<Op>::Tuning Context::select(
       }
       if (error) std::rethrow_exception(error);
       if (from_cache) *from_cache = false;
+      if (tier) *tier = winner_tier;
       return *winner;
     }
 
@@ -246,6 +328,49 @@ typename OperationTraits<Op>::Tuning Context::select(
     // The leader stored the result before completing the flight; loop back to
     // pick it up from the cache (it can only be a hit now).
   }
+}
+
+template <typename Op>
+void Context::maybe_refine(const std::string& key,
+                           const typename OperationTraits<Op>::Shape& shape) {
+  if (!options_.two_tier || !has_model()) return;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (!refining_.insert(key).second) return;  // pending or already landed
+  }
+  {
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    ++background_pending_;
+  }
+  ThreadPool::global().submit([this, key, shape] {
+    bool upgraded = false;
+    try {
+      const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
+      upgraded = cache_.upgrade<Op>(device().name, shape, result.best.tuning,
+                                    ProfileCache::provenance(result.strategy, result.measured,
+                                                             EntryTier::refined));
+      tuning_runs_.fetch_add(1, std::memory_order_relaxed);
+      if (upgraded) refinements_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      // The provisional prediction stays live and functional; a later hit on
+      // it may retry (the erase below re-arms the gate).
+      ISAAC_LOG_WARN() << "background refinement failed for " << key << ": " << e.what();
+    } catch (...) {
+      ISAAC_LOG_WARN() << "background refinement failed for " << key;
+    }
+    if (!upgraded) {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      refining_.erase(key);
+    }
+    // Last step, notify under the lock: a destructor waiting on
+    // background_pending_ == 0 cannot resume (and free `this`) until this
+    // task's unlock, after which the task touches nothing of `this`.
+    {
+      std::lock_guard<std::mutex> lock(background_mutex_);
+      --background_pending_;
+      background_cv_.notify_all();
+    }
+  });
 }
 
 template <typename Op>
@@ -264,8 +389,8 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
   }
   state->remaining.store(shapes.size());
   {
-    std::lock_guard<std::mutex> lock(warmup_mutex_);
-    warmup_pending_ += shapes.size();
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    background_pending_ += shapes.size();
   }
   for (auto& shape : shapes) {
     ThreadPool::global().submit([this, state, shape = std::move(shape)] {
@@ -283,12 +408,12 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
         }
       }
       // Last step, notify under the lock: a destructor waiting on
-      // warmup_pending_ == 0 cannot resume (and free `this`) until this
+      // background_pending_ == 0 cannot resume (and free `this`) until this
       // task's unlock, after which the task touches nothing of `this`.
       {
-        std::lock_guard<std::mutex> lock(warmup_mutex_);
-        --warmup_pending_;
-        warmup_cv_.notify_all();
+        std::lock_guard<std::mutex> lock(background_mutex_);
+        --background_pending_;
+        background_cv_.notify_all();
       }
     });
   }

@@ -2,6 +2,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -21,37 +24,153 @@ std::filesystem::path cache_file(const std::string& directory) {
   return std::filesystem::path(directory) / "isaac_profiles.txt";
 }
 
+/// Serialize one entry in the current schema (two columns when there is no
+/// provenance) — shared by the append path and the compactor so both always
+/// write the same format.
+std::string format_line(const std::string& key, const std::string& value,
+                        const std::string& meta) {
+  return meta.empty() ? key + '\t' + value + '\n' : key + '\t' + value + '\t' + meta + '\n';
+}
+
+/// Parse one on-disk line into (key, value, meta). Current format:
+/// key \t value \t provenance. Both older schemas are still read:
+/// key \t value (no provenance column), and the oldest
+/// kind \t key \t value, whose kind column is redundant (the key embeds it).
+/// The two three-column schemas are disambiguated by the '|' the key always
+/// contains and a bare kind never does.
+bool parse_line(const std::string& line, std::string& key, std::string& value,
+                std::string& meta) {
+  const auto parts = strings::split(line, '\t');
+  if (parts.size() == 2) {
+    key = parts[0];
+    value = parts[1];
+    meta.clear();
+    return true;
+  }
+  if (parts.size() == 3 && parts[0].find('|') != std::string::npos) {
+    key = parts[0];
+    value = parts[1];
+    meta = parts[2];
+    return true;
+  }
+  if (parts.size() == 3) {
+    key = parts[1];
+    value = parts[2];
+    meta.clear();
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 ProfileCache::ProfileCache(std::string directory) : directory_(std::move(directory)) {
   if (!directory_.empty()) load_from_disk();
 }
 
+EntryTier ProfileCache::tier_from_meta(const std::string& meta) {
+  return meta.find("tier=provisional") != std::string::npos ? EntryTier::provisional
+                                                            : EntryTier::refined;
+}
+
 void ProfileCache::load_from_disk() {
-  std::ifstream is(cache_file(directory_));
-  if (!is) return;
-  std::string line;
-  while (std::getline(is, line)) {
-    // Current format: key \t value \t provenance. Both older schemas are
-    // still read: key \t value (no provenance column), and the oldest
-    // kind \t key \t value, whose kind column is redundant (the key embeds
-    // it). The two three-column schemas are disambiguated by the '|' the key
-    // always contains and a bare kind never does.
-    const auto parts = strings::split(line, '\t');
-    if (parts.size() == 2) {
-      entries_[parts[0]] = Entry{parts[1], "", {}};
-    } else if (parts.size() == 3 && parts[0].find('|') != std::string::npos) {
-      entries_[parts[0]] = Entry{parts[1], parts[2], {}};
-    } else if (parts.size() == 3) {
-      entries_[parts[1]] = Entry{parts[2], "", {}};
+  const std::filesystem::path file = cache_file(directory_);
+
+  // Parse into one ordered map first (last-wins), then distribute across the
+  // shards; the single-threaded constructor needs no locks yet.
+  std::map<std::string, Entry> live;
+  std::size_t lines = 0;
+
+#if ISAAC_HAVE_FLOCK
+  // Hold the same exclusive flock the appenders take for the whole
+  // read-compact cycle, so a concurrent process can neither append between
+  // our read and rewrite nor observe a half-truncated file.
+  const int fd = ::open(file.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return;  // no cache yet
+  const bool locked = ::flock(fd, LOCK_EX) == 0;  // unlocked: load, skip compaction
+  std::string contents;
+  bool read_ok;
+  {
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof buf)) > 0) contents.append(buf, static_cast<std::size_t>(n));
+    // A read error would leave `contents` a truncated view of the file;
+    // compacting from it would permanently drop the unread tail. Load what
+    // was read, but never rewrite.
+    read_ok = n == 0;
+  }
+  {
+    std::istringstream is(contents);
+    std::string line, key, value, meta;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      ++lines;
+      if (!parse_line(line, key, value, meta)) continue;
+      const EntryTier entry_tier = tier_from_meta(meta);
+      live[key] = Entry{value, meta, entry_tier, {}};
     }
   }
-  ISAAC_LOG_INFO() << "profile cache: loaded " << entries_.size() << " entries from "
-                   << cache_file(directory_).string();
+  // Compact once stale duplicates outnumber live entries: appends never
+  // rewrite, so re-tuned and tier-upgraded keys otherwise accumulate one
+  // dead line per store forever. In-place through the flocked descriptor
+  // keeps the inode stable, so writers blocked on the flock append to the
+  // compacted file, not to a renamed-away orphan. Write first, truncate
+  // last — never ftruncate(0) up front, which would turn any mid-write
+  // failure into whole-file loss. Overwriting the head (shrinking: the
+  // compacted lines are a subset of the old ones) bounds a failure to the
+  // few head lines actually clobbered, and a truncate failure merely leaves
+  // a stale tail that last-wins parsing already resolves.
+  if (locked && read_ok && lines > 2 * live.size() && !live.empty()) {
+    std::string compacted;
+    for (const auto& [key, entry] : live) {
+      compacted += format_line(key, entry.encoded, entry.meta);
+    }
+    bool ok = ::lseek(fd, 0, SEEK_SET) == 0;
+    std::size_t written = 0;
+    while (ok && written < compacted.size()) {
+      const ssize_t n = ::write(fd, compacted.data() + written, compacted.size() - written);
+      if (n <= 0) ok = false;
+      written += n > 0 ? static_cast<std::size_t>(n) : 0;
+    }
+    ok = ok && ::ftruncate(fd, static_cast<off_t>(compacted.size())) == 0;
+    if (ok) {
+      ISAAC_LOG_INFO() << "profile cache: compacted " << lines << " lines down to "
+                       << live.size() << " in " << file.string();
+    } else {
+      ISAAC_LOG_WARN() << "profile cache: compaction of " << file.string()
+                       << " failed mid-write; entries preserved, file left uncompacted";
+    }
+  }
+  if (locked) ::flock(fd, LOCK_UN);
+  ::close(fd);
+#else
+  std::ifstream is(file);
+  if (!is) return;
+  std::string line, key, value, meta;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    if (!parse_line(line, key, value, meta)) continue;
+    const EntryTier entry_tier = tier_from_meta(meta);
+    live[key] = Entry{value, meta, entry_tier, {}};
+  }
+#endif
+
+  for (auto& [key, entry] : live) {
+    shard_for(key).entries.emplace(key, std::move(entry));
+  }
+  ISAAC_LOG_INFO() << "profile cache: loaded " << live.size() << " entries from "
+                   << file.string();
 }
 
 std::string ProfileCache::provenance(const std::string& strategy, std::size_t budget) {
   return "strategy=" + strategy + ";budget=" + std::to_string(budget);
+}
+
+std::string ProfileCache::provenance(const std::string& strategy, std::size_t budget,
+                                     EntryTier tier) {
+  return provenance(strategy, budget) +
+         (tier == EntryTier::provisional ? ";tier=provisional" : ";tier=refined");
 }
 
 void ProfileCache::append_to_disk(const std::string& key, const std::string& value,
@@ -60,8 +179,7 @@ void ProfileCache::append_to_disk(const std::string& key, const std::string& val
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   const std::filesystem::path file = cache_file(directory_);
-  const std::string line =
-      meta.empty() ? key + '\t' + value + '\n' : key + '\t' + value + '\t' + meta + '\n';
+  const std::string line = format_line(key, value, meta);
 #if ISAAC_HAVE_FLOCK
   // Exclusive-flocked O_APPEND write of the whole line in one syscall, so
   // concurrent writers (threads or separate processes) cannot tear it.

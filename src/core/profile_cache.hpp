@@ -9,12 +9,27 @@
 // lookup<Op>/store<Op> decode on the way out, so adding an operation adds no
 // code here.
 //
-// Thread-safe: lookups take a shared lock, stores an exclusive one. Disk
-// appends go through a flocked O_APPEND write so concurrent processes (or
-// threads racing in one process) cannot interleave half-written lines.
+// Entries carry a *tier* for the two-tier dispatch runtime: `provisional`
+// marks a zero-measurement model prediction served while a background
+// refinement is pending; `refined` marks the result of a full search.
+// upgrade<Op>() replaces a provisional entry in place and never demotes a
+// refined one. The tier travels inside the provenance column as
+// `tier=provisional|refined`; lines without the field (all legacy schemas)
+// parse as refined.
+//
+// Thread-safe and sharded: keys hash onto independent buckets, each guarded
+// by its own shared_mutex, so hot-path lookups from many threads stop
+// contending on one global lock. Disk appends go through a flocked O_APPEND
+// write so concurrent processes (or threads racing in one process) cannot
+// interleave half-written lines; appends happen under the owning shard's
+// exclusive lock, so the file's last-writer order matches the in-memory
+// last-writer order per key. load_from_disk() compacts the append-only file
+// (last-wins, under flock) once duplicate lines outnumber live entries.
 #pragma once
 
 #include <any>
+#include <array>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -25,21 +40,32 @@
 
 namespace isaac::core {
 
+/// How trustworthy a cached selection is. `provisional` = the model's instant
+/// argmax (tier-1 dispatch), pending background refinement; `refined` = a
+/// full search's winner.
+enum class EntryTier { provisional, refined };
+
 class ProfileCache {
  public:
   /// directory == "" keeps the cache purely in memory.
   explicit ProfileCache(std::string directory = "");
 
+  /// Typed lookup; `tier` (optional) reports the entry's tier on a hit, so
+  /// the dispatch path learns "provisional, refinement may be owed" from the
+  /// same shard acquisition as the lookup itself.
   template <typename Op>
   std::optional<typename OperationTraits<Op>::Tuning> lookup(
-      const std::string& device, const typename OperationTraits<Op>::Shape& shape) const {
+      const std::string& device, const typename OperationTraits<Op>::Shape& shape,
+      EntryTier* tier = nullptr) const {
     using Tuning = typename OperationTraits<Op>::Tuning;
     const std::string k = key<Op>(device, shape);
+    Shard& shard = shard_for(k);
     std::string encoded;
     {
-      std::shared_lock lock(mutex_);
-      const auto it = entries_.find(k);
-      if (it == entries_.end()) return std::nullopt;
+      std::shared_lock lock(shard.mutex);
+      const auto it = shard.entries.find(k);
+      if (it == shard.entries.end()) return std::nullopt;
+      if (tier) *tier = it->second.tier;
       // Hot path: entries decoded before (every store, or a prior lookup of a
       // disk-loaded entry) return without touching the textual codec.
       if (const auto* decoded = std::any_cast<Tuning>(&it->second.decoded)) return *decoded;
@@ -49,9 +75,9 @@ class ProfileCache {
     if (!OperationTraits<Op>::decode_tuning(encoded, tuning)) return std::nullopt;
     {
       // Memoize the decode for disk-loaded entries (paid once per entry).
-      std::unique_lock lock(mutex_);
-      const auto it = entries_.find(k);
-      if (it != entries_.end() && !it->second.decoded.has_value() &&
+      std::unique_lock lock(shard.mutex);
+      const auto it = shard.entries.find(k);
+      if (it != shard.entries.end() && !it->second.decoded.has_value() &&
           it->second.encoded == encoded) {
         it->second.decoded = tuning;
       }
@@ -59,34 +85,75 @@ class ProfileCache {
     return tuning;
   }
 
+  /// Store unconditionally (last-writer wins). The entry's tier is parsed
+  /// from `meta`'s `tier=` field — absent means refined, so legacy callers
+  /// and legacy disk lines keep their old meaning.
   template <typename Op>
   void store(const std::string& device, const typename OperationTraits<Op>::Shape& shape,
              const typename OperationTraits<Op>::Tuning& tuning, std::string meta = "") {
     const std::string k = key<Op>(device, shape);
     const std::string value = OperationTraits<Op>::encode_tuning(tuning);
-    // The disk append stays under the lock so the file's last-writer order
-    // matches the in-memory last-writer order when stores race on one key.
-    std::unique_lock lock(mutex_);
+    Shard& shard = shard_for(k);
+    // The disk append stays under the shard lock so the file's last-writer
+    // order matches the in-memory last-writer order when stores race on one
+    // key (same key -> same shard).
+    const EntryTier entry_tier = tier_from_meta(meta);
+    std::unique_lock lock(shard.mutex);
     append_to_disk(k, value, meta);
-    entries_[k] = Entry{value, std::move(meta), tuning};
+    shard.entries[k] = Entry{value, std::move(meta), entry_tier, tuning};
+  }
+
+  /// Upgrade-in-place for the two-tier dispatch: replace the entry only while
+  /// it is still provisional (or absent). Returns false — and writes nothing,
+  /// in memory or on disk — when a refined entry already holds the key, so a
+  /// straggling refinement can never demote a better result.
+  template <typename Op>
+  bool upgrade(const std::string& device, const typename OperationTraits<Op>::Shape& shape,
+               const typename OperationTraits<Op>::Tuning& tuning, std::string meta) {
+    const std::string k = key<Op>(device, shape);
+    const std::string value = OperationTraits<Op>::encode_tuning(tuning);
+    Shard& shard = shard_for(k);
+    const EntryTier entry_tier = tier_from_meta(meta);
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.entries.find(k);
+    if (it != shard.entries.end() && it->second.tier == EntryTier::refined) return false;
+    append_to_disk(k, value, meta);
+    shard.entries[k] = Entry{value, std::move(meta), entry_tier, tuning};
+    return true;
   }
 
   /// Canonical provenance string stored alongside a tuning:
-  /// "strategy=<name>;budget=<n>".
+  /// "strategy=<name>;budget=<n>[;tier=<tier>]".
   static std::string provenance(const std::string& strategy, std::size_t budget);
+  static std::string provenance(const std::string& strategy, std::size_t budget,
+                                EntryTier tier);
 
   /// Provenance recorded for a key ("" for pre-schema-bump entries); nullopt
   /// when the key is absent. Key derivation via key<Op>().
   std::optional<std::string> meta(const std::string& key) const {
-    std::shared_lock lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it == entries_.end()) return std::nullopt;
+    Shard& shard = shard_for(key);
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) return std::nullopt;
     return it->second.meta;
   }
 
+  /// The tier recorded for a key; nullopt when the key is absent.
+  std::optional<EntryTier> tier(const std::string& key) const {
+    Shard& shard = shard_for(key);
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) return std::nullopt;
+    return it->second.tier;
+  }
+
   std::size_t size() const noexcept {
-    std::shared_lock lock(mutex_);
-    return entries_.size();
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard.mutex);
+      total += shard.entries.size();
+    }
+    return total;
   }
 
   /// Key derivation, exposed for tests: device|kind|shape-fields.
@@ -96,6 +163,10 @@ class ProfileCache {
     return device + '|' + OperationTraits<Op>::kind() + '|' +
            OperationTraits<Op>::shape_key(shape);
   }
+
+  /// `tier=provisional` anywhere in the provenance marks the entry
+  /// provisional; anything else (including every legacy schema) is refined.
+  static EntryTier tier_from_meta(const std::string& meta);
 
   // Legacy per-op spellings.
   std::optional<codegen::GemmTuning> lookup_gemm(const std::string& device,
@@ -127,16 +198,31 @@ class ProfileCache {
   struct Entry {
     std::string encoded;
     std::string meta;  // provenance column ("" for legacy lines)
+    EntryTier tier = EntryTier::refined;
     std::any decoded;
   };
+
+  /// Hot-path lookups from N threads previously contended on one
+  /// shared_mutex (reader-count cacheline ping-pong at 8+ threads); hashing
+  /// keys across independent buckets removes the shared write to a single
+  /// lock word. 16 shards comfortably cover the pool sizes the dispatch
+  /// benches run at.
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, Entry> entries;
+  };
+
+  Shard& shard_for(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+  }
 
   void load_from_disk();
   void append_to_disk(const std::string& key, const std::string& value,
                       const std::string& meta) const;
 
   std::string directory_;
-  mutable std::map<std::string, Entry> entries_;  // mutable: lookup memoizes decodes
-  mutable std::shared_mutex mutex_;
+  mutable std::array<Shard, kShards> shards_;  // mutable: lookup memoizes decodes
 };
 
 }  // namespace isaac::core

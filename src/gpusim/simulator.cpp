@@ -46,6 +46,7 @@ std::uint64_t Simulator::profile_fingerprint(const KernelProfile& p) const {
 }
 
 LaunchResult Simulator::launch(const KernelProfile& profile, int rep) const {
+  launches_.fetch_add(1, std::memory_order_relaxed);
   LaunchResult out;
   out.model = gpusim::evaluate(dev_, profile);
   if (!out.model.valid) return out;

@@ -9,6 +9,7 @@
 // as in the paper.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "gpusim/device.hpp"
@@ -35,7 +36,8 @@ class Simulator {
 
   /// One timed launch. `rep` selects the noise draw: re-launching the same
   /// kernel with the same rep reproduces the same measurement, different reps
-  /// model run-to-run variance. Thread-safe (no mutable state).
+  /// model run-to-run variance. Thread-safe (the only mutable state is the
+  /// relaxed launch counter).
   LaunchResult launch(const KernelProfile& profile, int rep = 0) const;
 
   /// Median of `reps` launches — what a careful benchmark would report.
@@ -44,12 +46,17 @@ class Simulator {
   /// Noise-free model evaluation (used by tests and analysis benches).
   PerfBreakdown evaluate(const KernelProfile& profile) const;
 
+  /// Total timed launches served — the "device measurements spent" odometer
+  /// the two-tier dispatch tests use to prove a code path measured nothing.
+  std::uint64_t launches() const noexcept { return launches_.load(std::memory_order_relaxed); }
+
  private:
   std::uint64_t profile_fingerprint(const KernelProfile& p) const;
 
   DeviceDescriptor dev_;
   double noise_sigma_;
   std::uint64_t seed_;
+  mutable std::atomic<std::uint64_t> launches_{0};
 };
 
 }  // namespace isaac::gpusim

@@ -55,18 +55,22 @@ class SimulatedAnnealing final : public SearchStrategy<Op> {
     }
   }
 
- private:
   static constexpr double kTempHot = 0.25;   // accepts ~25% relative regressions
   static constexpr double kTempCold = 0.01;  // effectively greedy
 
+  /// Public for tests: the cooling schedule must track the *effective*
+  /// (driver-clamped) budget. Scheduling against the raw config budget kept
+  /// "unlimited" (SIZE_MAX, or > |X̂|) runs at kTempHot forever — the chain
+  /// never turned into a hill-climber.
   double temperature() const {
-    const std::size_t budget = this->config_.budget;
+    const std::size_t budget = this->effective_budget();
     if (budget == 0 || budget == SIZE_MAX) return kTempHot;
     const double progress =
         std::min(1.0, static_cast<double>(evals_) / static_cast<double>(budget));
     return kTempHot * std::pow(kTempCold / kTempHot, progress);
   }
 
+ private:
   std::optional<Choice> neighbor() {
     const auto& domains = this->problem_.space->domains();
     for (int attempt = 0; attempt < 256; ++attempt) {

@@ -31,6 +31,11 @@ namespace isaac::search {
 /// accumulation stay single-threaded and deterministic. Inherently
 /// sequential strategies (simulated annealing) simply propose one candidate
 /// per round.
+///
+/// A `measure` throw propagates to the caller (the pool rethrows the
+/// lowest-index failure, so equal runs fail identically); results of the
+/// failing batch never reach `observe`/`sink`, keeping anytime state
+/// consistent with what the caller was told.
 template <typename Op, typename MeasureFn, typename SinkFn>
 std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const MeasureFn& measure,
                   const SinkFn& sink) {
@@ -42,6 +47,11 @@ std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const Measur
   // that never return an empty batch (genetic fallbacks, annealing restarts).
   const std::size_t target =
       std::min<std::size_t>(budget, std::max<std::size_t>(strategy.space_points(), 1));
+  // Schedule-dependent strategies (annealing's temperature decay) pace
+  // themselves against the clamped target, not the raw request — an
+  // "unlimited" SIZE_MAX budget would otherwise leave their schedule frozen
+  // at its starting point for the whole run.
+  strategy.set_effective_budget(target);
   std::size_t measured = 0;
   std::vector<double> scores;
   while (measured < target) {

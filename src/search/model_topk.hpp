@@ -4,6 +4,12 @@
 // on the k best predictions only — the re-timing that "smooths out the
 // inherent noise of our predictive model".
 //
+// The ranking itself — enumerate/probe X̂, filter to the legal space, score
+// with the model, order best-first — is factored out as a reusable core:
+// `rank_legal_space` (dense, what the strategy drives) and
+// `rank_strided_probe` (bounded-work, what the zero-measurement dispatch
+// fast path in core::predict<Op>() takes on cold shapes).
+//
 // Ranking cost is bounded by SearchConfig::max_candidates: oversized legal
 // spaces are deterministically strided and the op's seed grid re-appended so
 // subsampling can never lose the well-known-good region.
@@ -16,6 +22,153 @@
 #include "search/random.hpp"  // choice_hash
 
 namespace isaac::search {
+
+/// A model-ranked slice of the legal space. `order` indexes `candidates`/
+/// `scores` best-first and is truncated to the requested k; `visited`/`legal`
+/// account the X̂ traffic the ranking spent so callers can merge it into
+/// their own stats.
+template <typename Op>
+struct RankedCandidates {
+  std::vector<Choice> candidates;  // legal (possibly subsampled), seed grid kept
+  std::vector<double> scores;      // predicted GFLOPS, aligned with candidates
+  std::vector<std::size_t> order;  // best-first indices into candidates, ≤ k
+  std::size_t visited = 0;         // X̂ points legality-checked
+  std::size_t legal = 0;           // subset that passed validation
+};
+
+/// Decode a flat lexicographic index into a choice vector (dimension 0 least
+/// significant — the same order advance_choice walks).
+inline Choice choice_from_flat(std::size_t flat,
+                               const std::vector<tuning::ParameterDomain>& domains) {
+  Choice c(domains.size());
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    c[d] = flat % domains[d].values.size();
+    flat /= domains[d].values.size();
+  }
+  return c;
+}
+
+namespace detail {
+
+/// Append the op's seed grid to `candidates` (legality-checked, de-duplicated
+/// against what is already there) so no subsampled ranking can lose the
+/// well-known-good region.
+template <typename Op>
+void append_seed_grid(const SearchProblem<Op>& problem, std::vector<Choice>& candidates,
+                      std::unordered_set<std::uint64_t>& present) {
+  using Traits = typename SearchProblem<Op>::Traits;
+  for (const auto& t : Traits::seed_grid()) {
+    Choice c;
+    if (!problem.space->encode(t, c)) continue;  // value outside this space's domains
+    if (!problem.legal(c)) continue;
+    if (present.insert(choice_hash(c)).second) candidates.push_back(std::move(c));
+  }
+}
+
+/// Score `out.candidates` with the model and fill `out.order` with the
+/// best-first top k (predicted GFLOPS, deterministic choice tie-break).
+template <typename Op>
+void score_and_order(const SearchProblem<Op>& problem, const SearchConfig& config,
+                     std::size_t top_k, RankedCandidates<Op>& out) {
+  if (out.candidates.empty()) return;
+  std::vector<std::vector<double>> rows(out.candidates.size());
+  ThreadPool::global().parallel_for_each(out.candidates.size(), [&](std::size_t i) {
+    rows[i] = problem.featurize(problem.space->decode(out.candidates[i]));
+  });
+  const std::size_t batch = config.batch > 0 ? config.batch : 8192;
+  out.scores = problem.model->predict_gflops_chunked(rows, batch);
+
+  // Only the first k ranks are ever consumed, so a partial sort suffices —
+  // O(n log k) on the latency-critical dispatch path.
+  out.order.resize(out.candidates.size());
+  for (std::size_t i = 0; i < out.order.size(); ++i) out.order[i] = i;
+  const std::size_t k =
+      std::min<std::size_t>(std::max<std::size_t>(top_k, 1), out.order.size());
+  std::partial_sort(out.order.begin(), out.order.begin() + static_cast<std::ptrdiff_t>(k),
+                    out.order.end(), [&](std::size_t a, std::size_t b) {
+                      if (out.scores[a] != out.scores[b]) return out.scores[a] > out.scores[b];
+                      return out.candidates[a] < out.candidates[b];  // deterministic tie-break
+                    });
+  out.order.resize(k);
+}
+
+}  // namespace detail
+
+/// Dense ranking — the strategy's path: enumerate all of X̂, keep the legal
+/// points, stride oversized sets down to config.max_candidates (re-appending
+/// the seed grid), then model-score and order the top k. Requires
+/// problem.model.
+template <typename Op>
+RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
+                                      const SearchConfig& config, std::size_t top_k) {
+  RankedCandidates<Op> out;
+  const auto& domains = problem.space->domains();
+
+  // ---- enumerate the legal space ----------------------------------------
+  Choice odometer(domains.size(), 0);
+  do {
+    ++out.visited;
+    if (problem.legal(odometer)) {
+      ++out.legal;
+      out.candidates.push_back(odometer);
+    }
+  } while (advance_choice(odometer, domains));
+  if (out.candidates.empty()) return out;
+
+  // ---- subsample oversized spaces, keeping the seed grid ----------------
+  const std::size_t cap = config.max_candidates;
+  if (cap > 0 && out.candidates.size() > cap) {
+    std::vector<Choice> kept;
+    kept.reserve(cap + 64);
+    std::unordered_set<std::uint64_t> in_kept;
+    const double step =
+        static_cast<double>(out.candidates.size()) / static_cast<double>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      Choice& c = out.candidates[static_cast<std::size_t>(i * step)];
+      if (in_kept.insert(choice_hash(c)).second) kept.push_back(std::move(c));
+    }
+    // Probe uncounted: the odometer sweep above already visited (and
+    // counted) every point of X̂, this only re-selects from it.
+    detail::append_seed_grid(problem, kept, in_kept);
+    out.candidates = std::move(kept);
+  }
+
+  detail::score_and_order(problem, config, top_k, out);
+  return out;
+}
+
+/// Bounded-work ranking — the dispatch fast path: instead of sweeping all of
+/// X̂, probe at most config.max_candidates points by deterministic flat-index
+/// striding, filter those to the legal space, and always re-append the seed
+/// grid. Total work is O(cap) legality checks plus one batched model pass, no
+/// matter how large X̂ is — this is what lets a cold `select()` answer in
+/// microseconds-to-milliseconds rather than sweep-the-space time. The
+/// returned `order` may be empty for degenerate shapes whose sparse legal set
+/// the stride misses; callers fall back to `rank_legal_space` (and from
+/// there, to reporting "no legal configuration").
+template <typename Op>
+RankedCandidates<Op> rank_strided_probe(const SearchProblem<Op>& problem,
+                                        const SearchConfig& config, std::size_t top_k) {
+  RankedCandidates<Op> out;
+  const auto& domains = problem.space->domains();
+  const std::size_t total = problem.space->size();
+  const std::size_t cap =
+      config.max_candidates > 0 ? std::min(config.max_candidates, total) : total;
+
+  std::unordered_set<std::uint64_t> present;
+  const double step = static_cast<double>(total) / static_cast<double>(std::max<std::size_t>(cap, 1));
+  for (std::size_t i = 0; i < cap; ++i) {
+    Choice c = choice_from_flat(static_cast<std::size_t>(i * step), domains);
+    ++out.visited;
+    if (!problem.legal(c)) continue;
+    ++out.legal;
+    if (present.insert(choice_hash(c)).second) out.candidates.push_back(std::move(c));
+  }
+  detail::append_seed_grid(problem, out.candidates, present);
+
+  detail::score_and_order(problem, config, top_k, out);
+  return out;
+}
 
 template <typename Op>
 class ModelGuidedTopK final : public SearchStrategy<Op> {
@@ -35,9 +188,10 @@ class ModelGuidedTopK final : public SearchStrategy<Op> {
   std::vector<Proposal<Tuning>> propose(std::size_t max_batch) override {
     if (!ranked_) rank();
     std::vector<Proposal<Tuning>> out;
-    while (out.size() < max_batch && next_ < order_.size()) {
-      const std::size_t i = order_[next_++];
-      out.push_back(this->make_proposal(candidates_[i], scores_[i]));
+    while (out.size() < max_batch && next_ < ranked_space_.order.size()) {
+      const std::size_t i = ranked_space_.order[next_++];
+      out.push_back(
+          this->make_proposal(ranked_space_.candidates[i], ranked_space_.scores[i]));
     }
     return out;
   }
@@ -45,66 +199,15 @@ class ModelGuidedTopK final : public SearchStrategy<Op> {
  private:
   void rank() {
     ranked_ = true;
-    using Traits = typename Base::Traits;
-    const auto& space = *this->problem_.space;
-    const auto& domains = space.domains();
-
-    // ---- enumerate the legal space --------------------------------------
-    Choice odometer(domains.size(), 0);
-    do {
-      if (this->check(odometer)) candidates_.push_back(odometer);
-    } while (advance_choice(odometer, domains));
-    if (candidates_.empty()) return;
-
-    // ---- subsample oversized spaces, keeping the seed grid --------------
-    const std::size_t cap = this->config_.max_candidates;
-    if (cap > 0 && candidates_.size() > cap) {
-      std::vector<Choice> kept;
-      kept.reserve(cap + 64);
-      std::unordered_set<std::uint64_t> in_kept;
-      const double step =
-          static_cast<double>(candidates_.size()) / static_cast<double>(cap);
-      for (std::size_t i = 0; i < cap; ++i) {
-        Choice& c = candidates_[static_cast<std::size_t>(i * step)];
-        if (in_kept.insert(choice_hash(c)).second) kept.push_back(std::move(c));
-      }
-      for (const Tuning& t : Traits::seed_grid()) {
-        Choice c;
-        if (!space.encode(t, c)) continue;  // value outside this space's domains
-        // Probe uncounted: the odometer sweep above already visited (and
-        // counted) every point of X̂, this only re-selects from it.
-        if (!this->problem_.legal(c)) continue;
-        if (in_kept.insert(choice_hash(c)).second) kept.push_back(std::move(c));
-      }
-      candidates_ = std::move(kept);
-    }
-
-    // ---- batched model scoring ------------------------------------------
-    std::vector<std::vector<double>> rows(candidates_.size());
-    ThreadPool::global().parallel_for_each(candidates_.size(), [&](std::size_t i) {
-      rows[i] = this->problem_.featurize(space.decode(candidates_[i]));
-    });
-    scores_ = this->problem_.model->predict_gflops_chunked(rows, this->config_.batch);
-
-    // ---- rank by predicted GFLOPS ---------------------------------------
-    // Only the first `budget` ranks can ever be proposed, so a partial sort
-    // suffices — O(n log k) on the latency-critical cache-miss path.
-    order_.resize(candidates_.size());
-    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
-    const std::size_t k =
-        std::min<std::size_t>(std::max<std::size_t>(this->config_.budget, 1), order_.size());
-    std::partial_sort(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(k),
-                      order_.end(), [&](std::size_t a, std::size_t b) {
-                        if (scores_[a] != scores_[b]) return scores_[a] > scores_[b];
-                        return candidates_[a] < candidates_[b];  // deterministic tie-break
-                      });
-    order_.resize(k);
+    // Only the first `budget` ranks can ever be proposed.
+    ranked_space_ = rank_legal_space(this->problem_, this->config_,
+                                     std::max<std::size_t>(this->config_.budget, 1));
+    this->stats_.visited += ranked_space_.visited;
+    this->stats_.legal += ranked_space_.legal;
   }
 
   bool ranked_ = false;
-  std::vector<Choice> candidates_;
-  std::vector<double> scores_;
-  std::vector<std::size_t> order_;
+  RankedCandidates<Op> ranked_space_;
   std::size_t next_ = 0;
 };
 

@@ -121,6 +121,16 @@ class SearchStrategy {
   /// fallback re-proposals, the annealer's restarts).
   std::size_t space_points() const { return problem_.space->size(); }
 
+  /// The evaluation budget the driver will actually spend — config_.budget
+  /// clamped to |X̂|. The driver threads it in before the first proposal
+  /// round so schedule-dependent strategies (the annealer's temperature
+  /// decay) pace themselves against the real run length, not a raw SIZE_MAX
+  /// "unlimited" request that would freeze their schedule at t = 0.
+  void set_effective_budget(std::size_t budget) noexcept { effective_budget_ = budget; }
+  std::size_t effective_budget() const noexcept {
+    return effective_budget_ != 0 ? effective_budget_ : config_.budget;
+  }
+
  protected:
   /// Counted legality check — every strategy funnels X̂ probes through here
   /// so TuneResult::enumerated/legal stay meaningful across strategies.
@@ -170,6 +180,9 @@ class SearchStrategy {
   SearchConfig config_;
   Rng rng_;
   Stats stats_;
+
+ private:
+  std::size_t effective_budget_ = 0;  // 0 = not told yet, fall back to config
 };
 
 }  // namespace isaac::search

@@ -170,6 +170,23 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForRethrowsLowestIndexError) {
+  // First-error-wins is deterministic by *index order*, not by which worker
+  // happened to fault first: with every chunk throwing, the caller must see
+  // chunk 0's exception on every run.
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 16; ++trial) {
+    try {
+      pool.parallel_for(1024, [](std::size_t begin, std::size_t) -> void {
+        throw std::runtime_error("chunk@" + std::to_string(begin));
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk@0");
+    }
+  }
+}
+
 TEST(ThreadPool, SingleThreadPoolStillWorks) {
   ThreadPool pool(1);
   std::atomic<long> sum{0};

@@ -1,7 +1,8 @@
 // Concurrent dispatch runtime tests: a shared Context hammered from many
 // threads must (a) produce numerics identical to the serial reference,
-// (b) tune each distinct cold shape exactly once (single-flight), and
-// (c) keep the profile cache consistent under concurrent writers.
+// (b) lead each distinct cold shape exactly once (single-flight) and refine
+// it exactly once in the background (two-tier dispatch), and (c) keep the
+// profile cache consistent under concurrent writers.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,6 +14,7 @@
 
 #include "codegen/batched_gemm_executor.hpp"
 #include "codegen/gemm_executor.hpp"
+#include "common/thread_pool.hpp"
 #include "core/isaac.hpp"
 #include "gpusim/device.hpp"
 #include "tuning/collector.hpp"
@@ -109,6 +111,7 @@ TEST(ConcurrentDispatch, StressMatchesSerialReferenceAndTunesOnce) {
     const std::int64_t ldb = p.shape.trans_b ? p.shape.n : p.shape.k;
     ctx.gemm(p.shape, 1.0f, p.a.data(), p.shape.m, p.b.data(), ldb, 0.0f, c.data(), p.shape.m);
   }
+  ctx.drain_background();  // let the two pre-warm refinements land
   ASSERT_EQ(ctx.tuning_runs(), 2u);
 
   constexpr int kItersPerThread = 12;
@@ -137,12 +140,20 @@ TEST(ConcurrentDispatch, StressMatchesSerialReferenceAndTunesOnce) {
   for (auto& th : threads) th.join();
 
   EXPECT_EQ(failures.load(), 0) << errors[0];
-  // Single-flight: each distinct shape was tuned exactly once, no matter how
-  // many threads raced on its cold start.
+  // Single-flight + exactly-once refinement: each distinct shape was led
+  // once and refined once, no matter how many threads raced on its cold
+  // start. (Four shapes went cold under two-tier dispatch: one prediction
+  // each; the refinement is what tuning_runs counts.)
+  ctx.drain_background();
   EXPECT_EQ(ctx.tuning_runs(), problems.size());
+  EXPECT_EQ(ctx.predictions(), problems.size());
 }
 
-TEST(ConcurrentDispatch, ColdShapeBurstTriggersOneTuning) {
+TEST(ConcurrentDispatch, ColdShapeBurstPredictsOnceRefinesOnce) {
+  // The two-tier stress case: N threads race one cold shape. Exactly one
+  // leader serves the provisional model prediction (zero measurements on its
+  // thread), exactly one background refinement runs, and the cache entry
+  // ends refined.
   Context ctx(gpusim::tesla_p100(), fast_options());
   ctx.set_model(shared_model());
 
@@ -169,9 +180,64 @@ TEST(ConcurrentDispatch, ColdShapeBurstTriggersOneTuning) {
   go.store(true);
   for (auto& th : threads) th.join();
 
+  EXPECT_EQ(ctx.predictions(), 1u);  // exactly one provisional prediction
+  EXPECT_EQ(cold_calls.load(), 1);   // exactly one leader paid for it
+
+  ctx.drain_background();
+  EXPECT_EQ(ctx.refinements(), 1u);  // exactly one background refinement
   EXPECT_EQ(ctx.tuning_runs(), 1u);
-  EXPECT_EQ(cold_calls.load(), 1);  // exactly one leader paid for the tuning
-  ASSERT_TRUE(ctx.cache().lookup<GemmOp>(ctx.device().name, shape).has_value());
+  EntryTier tier = EntryTier::provisional;
+  const auto final_entry = ctx.cache().lookup<GemmOp>(ctx.device().name, shape, &tier);
+  ASSERT_TRUE(final_entry.has_value());
+  EXPECT_EQ(tier, EntryTier::refined);
+  EXPECT_TRUE(codegen::validate(shape, *final_entry, ctx.device()));
+}
+
+TEST(ConcurrentDispatch, ColdSelectIsMeasurementFreeAndRefinementMatchesBlocking) {
+  // Tier 1 answers without a single simulated measurement on the calling
+  // thread, and the background refinement converges to the same selection a
+  // blocking search would have made.
+  auto opts = fast_options();
+  opts.noise_sigma = 0.0;  // deterministic measurements: selections comparable
+  Context two_tier(gpusim::tesla_p100(), opts);
+  two_tier.set_model(shared_model());
+  auto blocking_opts = opts;
+  blocking_opts.two_tier = false;
+  Context blocking(gpusim::tesla_p100(), blocking_opts);
+  blocking.set_model(shared_model());
+
+  codegen::GemmShape shape;
+  shape.m = 80;
+  shape.n = 56;
+  shape.k = 128;
+
+  // Park every pool worker on a latch so the background refinement cannot
+  // start until the counter has been read: any launch observed between here
+  // and the release would have come from the calling thread. (The fast path
+  // itself stays live — parallel_for's calling thread drains its own chunks.)
+  std::atomic<bool> release{false};
+  for (std::size_t i = 0; i < ThreadPool::global().size(); ++i) {
+    ThreadPool::global().submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  const std::uint64_t launches_before = two_tier.simulator().launches();
+  bool from_cache = true;
+  EntryTier tier = EntryTier::refined;
+  const auto predicted = two_tier.select<GemmOp>(shape, &from_cache, &tier);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(tier, EntryTier::provisional);
+  EXPECT_TRUE(codegen::validate(shape, predicted, two_tier.device()));
+  // Tier 1 ran no simulated measurement on the calling thread.
+  EXPECT_EQ(two_tier.simulator().launches(), launches_before);
+  release.store(true);
+
+  const auto truth = blocking.select<GemmOp>(shape);
+  two_tier.drain_background();
+  const auto refined = two_tier.cache().lookup<GemmOp>(two_tier.device().name, shape, &tier);
+  ASSERT_TRUE(refined.has_value());
+  EXPECT_EQ(tier, EntryTier::refined);
+  EXPECT_EQ(*refined, truth);  // same search config, noise-free: same winner
 }
 
 TEST(ConcurrentDispatch, WarmupPreTunesAsynchronously) {
@@ -182,13 +248,19 @@ TEST(ConcurrentDispatch, WarmupPreTunesAsynchronously) {
   shapes.resize(3);
   auto done = ctx.warmup(shapes);
   done.wait();
+  // The warmup future resolves once every shape is cached (provisionally at
+  // least); draining also lands the refinements.
+  EXPECT_EQ(ctx.predictions(), shapes.size());
+  ctx.drain_background();
   EXPECT_EQ(ctx.tuning_runs(), shapes.size());
 
-  // Every warmed shape dispatches straight from the cache.
+  // Every warmed shape dispatches straight from the (refined) cache.
   for (const auto& shape : shapes) {
     bool from_cache = false;
-    ctx.select<GemmOp>(shape, &from_cache);
+    EntryTier tier = EntryTier::provisional;
+    ctx.select<GemmOp>(shape, &from_cache, &tier);
     EXPECT_TRUE(from_cache) << shape.to_string();
+    EXPECT_EQ(tier, EntryTier::refined) << shape.to_string();
   }
   EXPECT_EQ(ctx.tuning_runs(), shapes.size());
 }
@@ -244,7 +316,47 @@ TEST(ConcurrentDispatch, BatchedGemmSingleFlight) {
   for (auto& th : threads) th.join();
 
   EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ctx.predictions(), 1u);
+  ctx.drain_background();
   EXPECT_EQ(ctx.tuning_runs(), 1u);
+}
+
+TEST(ConcurrentDispatch, DiskLoadedProvisionalEntryIsRefinedOnHit) {
+  // A process that dies between its tier-1 prediction and the refinement
+  // landing leaves `tier=provisional` on disk. The next process to hit that
+  // entry serves it instantly but re-arms the background refinement.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "isaac_cache_two_tier_test").string();
+  std::filesystem::remove_all(dir);
+
+  codegen::GemmShape shape;
+  shape.m = 64;
+  shape.n = 32;
+  shape.k = 96;
+  const std::string dev = gpusim::tesla_p100().name;
+  {
+    ProfileCache stale(dir);
+    const auto pred = predict<GemmOp>(shape, shared_model(), gpusim::tesla_p100());
+    stale.store<GemmOp>(dev, shape, pred.tuning,
+                        ProfileCache::provenance("predict", 0, EntryTier::provisional));
+  }
+
+  auto opts = fast_options();
+  opts.cache_dir = dir;
+  Context ctx(gpusim::tesla_p100(), opts);
+  ctx.set_model(shared_model());
+
+  bool from_cache = false;
+  EntryTier tier = EntryTier::refined;
+  ctx.select<GemmOp>(shape, &from_cache, &tier);
+  EXPECT_TRUE(from_cache);  // served instantly from the stale entry
+  EXPECT_EQ(tier, EntryTier::provisional);
+
+  ctx.drain_background();
+  EXPECT_EQ(ctx.predictions(), 0u);  // no new prediction, just the re-armed refinement
+  EXPECT_EQ(ctx.refinements(), 1u);
+  EXPECT_EQ(ctx.cache().tier(ProfileCache::key<GemmOp>(dev, shape)), EntryTier::refined);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ProfileCacheConcurrency, ParallelStoresAndLookupsStayConsistent) {

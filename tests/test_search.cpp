@@ -312,6 +312,115 @@ TEST(SearchStrategies, UnlimitedBudgetTerminatesAtSpaceSize) {
   }
 }
 
+TEST(SearchStrategies, AnnealingCoolsUnderClampedBudgets) {
+  // The cooling schedule must track the *effective* budget the driver will
+  // spend (the raw request clamped to |X̂|). Scheduling against a raw
+  // SIZE_MAX "unlimited" request kept the chain at kTempHot forever — pure
+  // exploration, never a hill-climber.
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.0, 7);
+  const gpusim::DeviceDescriptor& dev = sim.device();
+  const auto shape = gemm_shape(512, 512, 512);
+  const SeedCoreGemmSpace space;  // |X̂| small enough to saturate cheaply
+  search::SearchProblem<core::GemmOp> problem;
+  problem.shape = &shape;
+  problem.device = &dev;
+  problem.space = &space;
+
+  for (const std::size_t raw_budget : {kUnlimited, 100 * space.size()}) {
+    search::SimulatedAnnealing<core::GemmOp> annealer(problem,
+                                                      strategy_config("annealing", raw_budget));
+    EXPECT_DOUBLE_EQ(annealer.temperature(), annealer.kTempHot);
+    const std::size_t measured = search::drive(
+        annealer, raw_budget,
+        [&](const codegen::GemmTuning& t) {
+          const auto timed = sim.launch_median(codegen::analyze(shape, t, dev), 1);
+          return timed.valid ? timed.tflops * 1000.0 : 0.0;
+        },
+        [](const auto&, double) {});
+    EXPECT_EQ(measured, space.size());  // clamped, so the run terminated
+    // …and the schedule ran to completion: the chain ended effectively
+    // greedy, not frozen at the hot end.
+    EXPECT_LT(annealer.temperature(), annealer.kTempCold * 1.5) << raw_budget;
+  }
+}
+
+TEST(SearchStrategies, EmptyLegalSpaceProposesNothingEverywhere) {
+  // A degenerate shape with no legal configuration: every strategy must let
+  // the driver return 0 measured instead of proposing illegal points or
+  // spinning. (Over the small seed-core space so the scan-based fallbacks
+  // stay cheap; the full-space behavior is identical.)
+  const gpusim::DeviceDescriptor& dev = gpusim::tesla_p100();
+  const auto shape = gemm_shape(64, 64, 2);  // below the smallest prefetch depth
+  const SeedCoreGemmSpace space;
+  search::SearchProblem<core::GemmOp> problem;
+  problem.shape = &shape;
+  problem.device = &dev;
+  problem.space = &space;
+  problem.model = &shared_model();
+
+  for (const auto& name : search::strategy_names()) {
+    auto strategy = search::make_strategy<core::GemmOp>(problem, strategy_config(name, 8));
+    std::size_t sunk = 0;
+    const std::size_t measured = search::drive(
+        *strategy, 8, [](const codegen::GemmTuning&) { return 1.0; },
+        [&](const auto&, double) { ++sunk; });
+    EXPECT_EQ(measured, 0u) << name;
+    EXPECT_EQ(sunk, 0u) << name;
+    EXPECT_EQ(strategy->stats().legal, 0u) << name;
+  }
+}
+
+TEST(SearchStrategies, EmptyLegalSpaceThrowsDescriptively) {
+  // …and tune<Op>() turns that empty drive into a loud, descriptive error —
+  // not a value-initialized "best".
+  gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 7);
+  const auto shape = gemm_shape(64, 64, 2);
+  // One sweep-based and one model-ranked strategy; the scan-heavy stochastic
+  // fallbacks walk all of X̂ here, which the strategy-level test above
+  // already covers cheaply.
+  for (const std::string name : {"exhaustive", "model_topk"}) {
+    try {
+      core::tune_gemm(shape, shared_model(), sim, strategy_config(name, 8));
+      FAIL() << name << " did not throw on an empty legal space";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("no legal gemm"), std::string::npos) << what;
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+      EXPECT_NE(what.find(shape.to_string()), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(SearchDriver, MeasureExceptionPropagatesToCaller) {
+  // A measure() throw inside the driver's parallel measurement must reach
+  // the caller (not terminate, not get scored as 0.0), and nothing from the
+  // failed batch may leak into the sink.
+  const gpusim::DeviceDescriptor& dev = gpusim::tesla_p100();
+  const auto shape = gemm_shape(512, 512, 512);
+  const tuning::GemmSearchSpace space;
+  search::SearchProblem<core::GemmOp> problem;
+  problem.shape = &shape;
+  problem.device = &dev;
+  problem.space = &space;
+  problem.model = &shared_model();
+
+  for (const auto& name : search::strategy_names()) {
+    const auto strategy =
+        search::make_strategy<core::GemmOp>(problem, strategy_config(name, 32));
+    std::size_t sunk = 0;
+    EXPECT_THROW(
+        search::drive(
+            *strategy, 32,
+            [](const codegen::GemmTuning&) -> double {
+              throw std::runtime_error("device fault");
+            },
+            [&](const auto&, double) { ++sunk; }),
+        std::runtime_error)
+        << name;
+    EXPECT_EQ(sunk, 0u) << name;
+  }
+}
+
 TEST(ModelGuidedTopK, MatchesExhaustiveOnSeedShapeGrid) {
   // Acceptance criterion: with a budget of 64 measured evaluations per shape,
   // ModelGuidedTopK must select the same tuning as an unbudgeted
