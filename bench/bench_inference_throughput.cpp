@@ -16,6 +16,16 @@
 // Dispatch-latency mode: `--dispatch_latency` times cold `select()` calls
 // under two-tier dispatch vs blocking tuning (p50/p99 per mode, speedup,
 // refined-entry agreement) — the headline number for the tier-1 fast path.
+//
+// Rank-throughput mode: `--rank_throughput` measures whole-space model
+// ranking (the §6 recipe's fixed cost and, since the two-tier dispatch, the
+// cold-select latency driver) per operation: candidates scored per second
+// through the allocation-free pipeline vs the pre-rewrite vector-of-vectors
+// path (with top-k ordering agreement between the two), cold `select()`
+// p50/p99, per-chunk scoring-time flatness (an allocations-per-candidate
+// proxy: chunks after the first cost the same when nothing allocates), and
+// the blocked GEMM's speedup over gemm_reference on the MLP-shaped case.
+// One JSON line per op plus a summary line, for cross-PR trajectory diffing.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -28,13 +38,17 @@
 #include "codegen/gemm.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "core/isaac.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/simulator.hpp"
+#include "linalg/blas.hpp"
 #include "mlp/regressor.hpp"
 #include "search/factory.hpp"
+#include "search/model_topk.hpp"
 #include "tuning/collector.hpp"
 #include "tuning/dataset.hpp"
+#include "tuning/feature_batch.hpp"
 #include "tuning/search_space.hpp"
 
 namespace {
@@ -299,6 +313,250 @@ int run_dispatch_latency() {
   return 0;
 }
 
+// ---------------------------------------------------------- rank throughput --
+
+/// The pre-rewrite ranking pipeline, preserved verbatim as the before/after
+/// baseline: serial odometer sweep of X̂, stride subsample with seed
+/// re-append, per-candidate vector<double> featurization, legacy chunked
+/// scoring, partial sort. Must produce the same candidates and ordering as
+/// rank_legal_space — the agreement field checks it on every run. A sibling
+/// replica lives in tests/test_search.cpp (reference_rank) backing the
+/// ordering-determinism test — keep the two in sync.
+template <typename Op>
+search::RankedCandidates<Op> legacy_rank(const search::SearchProblem<Op>& problem,
+                                         const search::SearchConfig& config,
+                                         std::size_t top_k) {
+  search::RankedCandidates<Op> out;
+  const auto& domains = problem.space->domains();
+  search::Choice odometer(domains.size(), 0);
+  do {
+    ++out.visited;
+    if (problem.legal(odometer)) {
+      ++out.legal;
+      out.candidates.push_back(odometer);
+    }
+  } while (search::advance_choice(odometer, domains));
+  if (out.candidates.empty()) return out;
+
+  const std::size_t cap = config.max_candidates;
+  if (cap > 0 && out.candidates.size() > cap) {
+    std::vector<search::Choice> kept;
+    std::unordered_set<std::uint64_t> in_kept;
+    const double step = static_cast<double>(out.candidates.size()) / static_cast<double>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      search::Choice& c = out.candidates[static_cast<std::size_t>(i * step)];
+      if (in_kept.insert(search::choice_hash(c)).second) kept.push_back(std::move(c));
+    }
+    search::detail::append_seed_grid(problem, kept, in_kept);
+    out.candidates = std::move(kept);
+  }
+
+  std::vector<std::vector<double>> rows(out.candidates.size());
+  ThreadPool::global().parallel_for_each(out.candidates.size(), [&](std::size_t i) {
+    rows[i] = problem.featurize(problem.space->decode(out.candidates[i]));
+  });
+  out.scores = problem.model->predict_gflops_chunked(rows, config.batch);
+  out.order.resize(out.candidates.size());
+  for (std::size_t i = 0; i < out.order.size(); ++i) out.order[i] = i;
+  const std::size_t k = std::min(std::max<std::size_t>(top_k, 1), out.order.size());
+  std::partial_sort(out.order.begin(), out.order.begin() + static_cast<std::ptrdiff_t>(k),
+                    out.order.end(), [&](std::size_t a, std::size_t b) {
+                      if (out.scores[a] != out.scores[b]) return out.scores[a] > out.scores[b];
+                      return out.candidates[a] < out.candidates[b];
+                    });
+  out.order.resize(k);
+  return out;
+}
+
+template <typename Op>
+double rank_throughput_op(const char* opname,
+                          const typename core::OperationTraits<Op>::Shape& rank_shape,
+                          const std::vector<typename core::OperationTraits<Op>::Shape>&
+                              cold_shapes,
+                          std::size_t max_candidates, const mlp::Regressor& m) {
+  using Clock = std::chrono::steady_clock;
+  const auto secs = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const auto& dev = gpusim::tesla_p100();
+  const typename core::OperationTraits<Op>::SearchSpace space;
+  search::SearchProblem<Op> problem;
+  problem.shape = &rank_shape;
+  problem.device = &dev;
+  problem.space = &space;
+  problem.model = &m;
+  search::SearchConfig cfg;
+  cfg.max_candidates = max_candidates;
+  constexpr std::size_t kTopK = 100;
+
+  // Cold pass: pays the one-off structural-skeleton sweep and grows the
+  // thread-local arenas.
+  auto t0 = Clock::now();
+  const auto first = search::rank_legal_space(problem, cfg, kTopK);
+  const double cold_s = secs(t0);
+
+  // Steady state: what a tuning pass / cold dispatch actually costs.
+  constexpr int kReps = 3;
+  t0 = Clock::now();
+  std::size_t scored = 0;
+  search::RankedCandidates<Op> fast;
+  for (int i = 0; i < kReps; ++i) {
+    fast = search::rank_legal_space(problem, cfg, kTopK);
+    scored += fast.candidates.size();
+  }
+  const double warm_s = secs(t0);
+
+  // Pre-rewrite baseline on the same machine/thread count, and ordering
+  // agreement between the two pipelines (must be 1.0).
+  t0 = Clock::now();
+  const auto legacy = legacy_rank(problem, cfg, kTopK);
+  const double legacy_s = secs(t0);
+  std::size_t agree = 0;
+  const std::size_t k = std::min(fast.order.size(), legacy.order.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    if (fast.candidates[fast.order[i]] == legacy.candidates[legacy.order[i]]) ++agree;
+  }
+  const double agreement =
+      (fast.candidates == legacy.candidates && k > 0)
+          ? static_cast<double>(agree) / static_cast<double>(k)
+          : 0.0;
+
+  // Allocations-per-candidate proxy: re-score the ranked set chunk by chunk
+  // (reusing one chunk-sized staging batch) and compare per-chunk times. A
+  // pipeline that allocates per candidate/chunk shows a fat first chunk and
+  // a long tail; an allocation-free one is flat.
+  std::vector<double> chunk_us;
+  {
+    tuning::FeatureBatch full(m.num_features(), fast.candidates.size());
+    ThreadPool::global().parallel_for_each(fast.candidates.size(), [&](std::size_t i) {
+      problem.featurize_into(problem.space->decode(fast.candidates[i]), full.row(i));
+    });
+    tuning::FeatureBatch staging(m.num_features());
+    const std::size_t chunk = cfg.batch;
+    for (std::size_t begin = 0; begin < full.rows(); begin += chunk) {
+      const std::size_t end = std::min(full.rows(), begin + chunk);
+      staging.resize(end - begin);
+      std::copy(full.row(begin), full.row(begin) + (end - begin) * full.arity(),
+                staging.data());
+      const auto c0 = Clock::now();
+      const auto s = m.predict_gflops_chunked(staging, 0);
+      benchmark::DoNotOptimize(s.data());
+      chunk_us.push_back(secs(c0) * 1e6);
+    }
+  }
+
+  // Cold select() latency: fresh two-tier context, every shape a cache miss.
+  core::ContextOptions opts = dispatch_options();
+  opts.noise_sigma = 0.0;
+  core::Context ctx(dev, opts);
+  ctx.set_model(m);
+  std::vector<double> select_us;
+  select_us.reserve(cold_shapes.size());
+  for (const auto& shape : cold_shapes) {
+    const auto s0 = Clock::now();
+    ctx.select<Op>(shape);
+    select_us.push_back(secs(s0) * 1e6);
+    ctx.drain_background();  // keep refinement out of the next timed select
+  }
+
+  std::printf(
+      "{\"bench\":\"rank_throughput\",\"op\":\"%s\",\"space\":%zu,\"candidates\":%zu,"
+      "\"cands_per_sec\":%.0f,\"cold_cands_per_sec\":%.0f,\"legacy_cands_per_sec\":%.0f,"
+      "\"speedup_vs_legacy\":%.2f,\"ordering_agreement\":%.3f,"
+      "\"p50_select_us\":%.1f,\"p99_select_us\":%.1f,"
+      "\"chunk_us_first\":%.1f,\"chunk_us_p50\":%.1f,\"chunk_us_max\":%.1f}\n",
+      opname, space.size(), fast.candidates.size(),
+      static_cast<double>(scored) / warm_s,
+      static_cast<double>(first.candidates.size()) / cold_s,
+      static_cast<double>(legacy.candidates.size()) / legacy_s,
+      (static_cast<double>(scored) / warm_s) /
+          (static_cast<double>(legacy.candidates.size()) / legacy_s),
+      agreement, stats::percentile(select_us, 0.50), stats::percentile(select_us, 0.99),
+      chunk_us.front(), stats::percentile(chunk_us, 0.50),
+      *std::max_element(chunk_us.begin(), chunk_us.end()));
+  std::fflush(stdout);
+  return agreement;
+}
+
+int run_rank_throughput() {
+  const auto& m = model();
+
+  // The MLP-regime GEMM the ranking pipeline actually runs (chunk × features
+  // through the 64-128-64 stack): blocked kernel vs the naive reference.
+  double gemm_speedup = 0.0;
+  {
+    using Clock = std::chrono::steady_clock;
+    Rng rng(11);
+    linalg::Matrix a(2048, 64), b(64, 128), c1(2048, 128), c2(2048, 128);
+    a.randomize_uniform(rng, -1.0f, 1.0f);
+    b.randomize_uniform(rng, -1.0f, 1.0f);
+    linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0f, a, b, 0.0f, c1);  // warm packs
+    constexpr int kReps = 20;
+    auto t0 = Clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      linalg::gemm(linalg::Trans::No, linalg::Trans::No, 1.0f, a, b, 0.0f, c1);
+    }
+    const double blocked_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    t0 = Clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      linalg::gemm_reference(linalg::Trans::No, linalg::Trans::No, 1.0f, a, b, 0.0f, c2);
+    }
+    const double reference_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    gemm_speedup = reference_s / blocked_s;
+  }
+
+  std::vector<codegen::GemmShape> gemm_cold;
+  for (const std::int64_t base : {64, 128, 256, 512, 768, 1024}) {
+    for (const std::int64_t n : {16, 133, 512}) {
+      codegen::GemmShape s;
+      s.m = base;
+      s.n = n;
+      s.k = base + n;
+      gemm_cold.push_back(s);
+    }
+  }
+  std::vector<codegen::ConvShape> conv_cold;
+  for (const std::int64_t hw : {7, 14, 28, 54}) {
+    for (const std::int64_t c : {64, 128, 256}) {
+      conv_cold.push_back(codegen::ConvShape::from_npq(8, hw, hw, c, c, 3, 3));
+    }
+  }
+  std::vector<codegen::BatchedGemmShape> bgemm_cold;
+  for (const std::int64_t batch : {4, 16, 64}) {
+    for (const std::int64_t mm : {64, 128, 256, 512}) {
+      codegen::BatchedGemmShape s;
+      s.batch = batch;
+      s.gemm.m = mm;
+      s.gemm.n = 32;
+      s.gemm.k = mm + batch;
+      bgemm_cold.push_back(s);
+    }
+  }
+
+  codegen::GemmShape gemm_rank = bench_shape();  // 2560×32×2560, ranked densely
+  auto conv_rank = codegen::ConvShape::from_npq(8, 54, 54, 64, 64, 3, 3);
+  codegen::BatchedGemmShape bgemm_rank;
+  bgemm_rank.batch = 16;
+  bgemm_rank.gemm.m = 512;
+  bgemm_rank.gemm.n = 64;
+  bgemm_rank.gemm.k = 512;
+
+  double min_agreement = 1.0;
+  min_agreement = std::min(
+      min_agreement, rank_throughput_op<core::GemmOp>("gemm", gemm_rank, gemm_cold, 0, m));
+  min_agreement = std::min(min_agreement, rank_throughput_op<core::ConvOp>(
+                                              "conv", conv_rank, conv_cold, 200000, m));
+  min_agreement = std::min(min_agreement, rank_throughput_op<core::BatchedGemmOp>(
+                                              "bgemm", bgemm_rank, bgemm_cold, 0, m));
+
+  std::printf(
+      "{\"bench\":\"rank_throughput\",\"op\":\"summary\",\"gemm_speedup_vs_reference\":%.2f,"
+      "\"min_ordering_agreement\":%.3f}\n",
+      gemm_speedup, min_agreement);
+  std::fflush(stdout);
+  return 0;
+}
+
 // ------------------------------------------------------------ search sweep --
 
 /// Strategy × budget sweep over a fixed shape set; one JSON object per line
@@ -361,6 +619,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--search_sweep") return run_search_sweep();
     if (std::string(argv[i]) == "--dispatch_latency") return run_dispatch_latency();
+    if (std::string(argv[i]) == "--rank_throughput") return run_rank_throughput();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -10,6 +10,17 @@
 //                                       cache keys and on-disk records
 //   validate / analyze / featurize    — legality, lowering to KernelProfile,
 //                                       and the regression feature vector
+//   featurize_into(shape, t, out)     — in-place featurization for the
+//                                       allocation-free scoring pipeline
+//                                       (optional: SearchProblem adapts
+//                                       featurize when an op lacks it)
+//   relax_shape(shape)                — a shape of the same structural class
+//                                       (dtype/layout preserved) whose
+//                                       shape-dependent legality checks are
+//                                       maximally permissive; backs the
+//                                       structural-skeleton enumeration
+//                                       cache (optional: ops without it
+//                                       rank with a dense legality sweep)
 //   flops(shape)                      — useful FLOPs of one call
 //   shape_key / encode_tuning /
 //   decode_tuning                     — cache key derivation and the textual
@@ -66,7 +77,19 @@ struct OperationTraits<GemmOp> {
   static std::vector<double> featurize(const Shape& s, const Tuning& t) {
     return tuning::features(s, t);
   }
+  static void featurize_into(const Shape& s, const Tuning& t, double* out) {
+    tuning::features_into(s, t, out);
+  }
   static double flops(const Shape& s) { return s.flops(); }
+
+  /// Same dtype and layout, dimensions blown up so every m/n/k-dependent
+  /// legality constraint (KG ≤ K, U·KL ≤ ⌈K/KG⌉) is satisfied whenever it is
+  /// satisfiable — the structural proxy the skeleton cache validates against.
+  static Shape relax_shape(const Shape& s) {
+    Shape r = s;
+    r.m = r.n = r.k = std::int64_t{1} << 30;
+    return r;
+  }
 
   static std::string shape_key(const Shape& s);
   static std::string encode_tuning(const Tuning& t);
@@ -106,7 +129,21 @@ struct OperationTraits<ConvOp> {
   static std::vector<double> featurize(const Shape& s, const Tuning& t) {
     return tuning::features(s, t);
   }
+  static void featurize_into(const Shape& s, const Tuning& t, double* out) {
+    tuning::features_into(s, t, out);
+  }
   static double flops(const Shape& s) { return s.flops(); }
+
+  /// Filter geometry, padding, strides and dtype preserved; batch, channels
+  /// and spatial extents blown up so the output-extent tile checks
+  /// (BP ≤ 2P, BQ ≤ 2Q, BN ≤ 2N) and the reduction-depth checks over
+  /// C·R·S always pass when they can pass.
+  static Shape relax_shape(const Shape& s) {
+    Shape r = s;
+    r.n = r.c = r.k = std::int64_t{1} << 20;
+    r.h = r.w = std::int64_t{1} << 20;
+    return r;
+  }
 
   static std::string shape_key(const Shape& s);
   static std::string encode_tuning(const Tuning& t);
@@ -144,7 +181,21 @@ struct OperationTraits<BatchedGemmOp> {
   static std::vector<double> featurize(const Shape& s, const Tuning& t) {
     return tuning::features(s, t);
   }
+  static void featurize_into(const Shape& s, const Tuning& t, double* out) {
+    tuning::features_into(s, t, out);
+  }
   static double flops(const Shape& s) { return s.flops(); }
+
+  /// Batched legality = per-matrix GEMM legality (plus the structural KG = 1
+  /// pin), so relaxing the underlying GEMM dims suffices. The batch count
+  /// only gates batch > 0 — pin it to 1 so every batch size shares one
+  /// skeleton.
+  static Shape relax_shape(const Shape& s) {
+    Shape r = s;
+    r.gemm = OperationTraits<GemmOp>::relax_shape(s.gemm);
+    r.batch = 1;
+    return r;
+  }
 
   static std::string shape_key(const Shape& s);
   static std::string encode_tuning(const Tuning& t);

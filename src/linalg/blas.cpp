@@ -1,7 +1,9 @@
 #include "linalg/blas.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 
@@ -24,68 +26,267 @@ GemmDims check_gemm_shapes(Trans trans_a, Trans trans_b, const Matrix& a, const 
   return {m, n, ka};
 }
 
-// Pack op(A) rows [r0, r1) into a contiguous (r1-r0) x k buffer so the inner
-// kernel always streams unit-stride.
-void pack_a(Trans trans_a, const Matrix& a, std::size_t r0, std::size_t r1, std::size_t k,
-            std::vector<float>& buf) {
-  buf.resize((r1 - r0) * k);
-  if (trans_a == Trans::No) {
-    for (std::size_t r = r0; r < r1; ++r) {
-      std::copy_n(a.data() + r * a.cols(), k, buf.data() + (r - r0) * k);
-    }
-  } else {
-    for (std::size_t r = r0; r < r1; ++r) {
-      for (std::size_t x = 0; x < k; ++x) buf[(r - r0) * k + x] = a(x, r);
+// ---- register-blocked panel kernel ----------------------------------------
+//
+// op(A) is packed into kMR-interleaved row panels (k × kMR, column r of the
+// panel is row r of the block), op(B) into kNR-wide column panels (k × kNR).
+// The micro-kernel keeps a kMR×kNR accumulator tile in registers across the
+// whole K loop: per K step it streams kMR+kNR floats and performs kMR·kNR
+// FMAs, with no C traffic and no per-element branches (a zero in A multiplies
+// through, so 0·Inf correctly propagates NaN exactly like gemm_reference).
+// Partial edge panels are zero-padded by the packers; the padding lanes
+// accumulate zeros and are simply not written back, so the blocking factors
+// never change the per-element accumulation order — results are identical
+// for every (kMR, kNR, block size, thread count) within a build.
+
+constexpr std::size_t kMR = 4;
+#if defined(__AVX512F__) || defined(__AVX2__)
+constexpr std::size_t kNR = 16;  // 4×16 tile: 8 YMM accumulators
+#else
+constexpr std::size_t kNR = 8;  // 4×8 tile: 8 XMM accumulators, no spills
+#endif
+constexpr std::size_t kMC = 128;         // rows per packed A block
+constexpr std::size_t kNC = 256;         // columns per parallel task group
+static_assert(kNC % kNR == 0, "column groups must split at panel boundaries");
+constexpr std::size_t kSmallN = 4;       // ≤ this many columns: dot-product path
+constexpr std::size_t kTinyM = 4;        // ≤ this many rows: no-packing path
+
+// Reusable packing arenas, one pair per thread: grown once, reused across
+// every gemm on that thread, so steady-state calls allocate nothing.
+thread_local std::vector<float> tl_pack_a;
+thread_local std::vector<float> tl_pack_b;
+
+std::size_t round_up(std::size_t v, std::size_t to) { return (v + to - 1) / to * to; }
+
+/// Pack op(A) rows [r0, r1) as kMR-interleaved panels: panel p holds rows
+/// [r0 + p·kMR, …), laid out k-major so the micro-kernel reads kMR
+/// consecutive floats per K step. Rows past r1 are zero-padded.
+void pack_a_block(Trans trans_a, const Matrix& a, std::size_t r0, std::size_t r1,
+                  std::size_t k, float* dst) {
+  for (std::size_t p0 = r0; p0 < r1; p0 += kMR) {
+    const std::size_t rows = std::min(kMR, r1 - p0);
+    if (trans_a == Trans::No) {
+      const float* src = a.data() + p0 * a.cols();
+      const std::size_t lda = a.cols();
+      for (std::size_t x = 0; x < k; ++x) {
+        for (std::size_t r = 0; r < kMR; ++r) *dst++ = (r < rows) ? src[r * lda + x] : 0.0f;
+      }
+    } else {
+      // op(A) row i is column i of the stored k × m matrix.
+      for (std::size_t x = 0; x < k; ++x) {
+        const float* src = a.data() + x * a.cols() + p0;
+        for (std::size_t r = 0; r < kMR; ++r) *dst++ = (r < rows) ? src[r] : 0.0f;
+      }
     }
   }
+}
+
+/// Pack all column panels of op(B): panel j holds columns [j·kNR, …), k-major
+/// (kNR consecutive floats per K step), zero-padded past n.
+void pack_b_panels(Trans trans_b, const Matrix& b, std::size_t n, std::size_t k, float* dst) {
+  for (std::size_t c0 = 0; c0 < n; c0 += kNR) {
+    const std::size_t cols = std::min(kNR, n - c0);
+    if (trans_b == Trans::No) {
+      const std::size_t ldb = b.cols();
+      for (std::size_t x = 0; x < k; ++x) {
+        const float* src = b.data() + x * ldb + c0;
+        for (std::size_t j = 0; j < kNR; ++j) *dst++ = (j < cols) ? src[j] : 0.0f;
+      }
+    } else {
+      // op(B)(x, c) = b(c, x) over the stored n × k matrix.
+      const std::size_t ldb = b.cols();
+      const float* base = b.data() + c0 * ldb;
+      for (std::size_t x = 0; x < k; ++x) {
+        for (std::size_t j = 0; j < kNR; ++j) *dst++ = (j < cols) ? base[j * ldb + x] : 0.0f;
+      }
+    }
+  }
+}
+
+/// One kMR×kNR tile of C: accumulate over the packed panels, then write back
+/// alpha/beta-scaled, clipped to the real (rows × cols) extent.
+void tile_kernel(std::size_t k, const float* __restrict__ ap, const float* __restrict__ bp,
+                 float alpha, float beta, float* __restrict__ c, std::size_t ldc,
+                 std::size_t rows, std::size_t cols) {
+  float acc[kMR][kNR] = {};
+  for (std::size_t p = 0; p < k; ++p) {
+#pragma GCC unroll 4
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = ap[r];
+#pragma GCC unroll 16
+      for (std::size_t j = 0; j < kNR; ++j) acc[r][j] += av * bp[j];
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    if (beta == 0.0f) {
+      for (std::size_t j = 0; j < cols; ++j) crow[j] = alpha * acc[r][j];
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) crow[j] = alpha * acc[r][j] + beta * crow[j];
+    }
+  }
+}
+
+/// C rows [r0, r1) × columns [j0, j1): pack the A block once, then walk its
+/// row panels under each column panel so the kNR×k B panel stays cache-hot
+/// across the whole block.
+void run_block(Trans trans_a, float alpha, const Matrix& a, float beta, Matrix& c,
+               std::size_t k, std::size_t n, std::size_t r0, std::size_t r1, std::size_t j0,
+               std::size_t j1, const float* pb, std::vector<float>& pa) {
+  pa.resize(round_up(r1 - r0, kMR) * k);
+  pack_a_block(trans_a, a, r0, r1, k, pa.data());
+  for (std::size_t c0 = j0; c0 < j1; c0 += kNR) {
+    const float* bp = pb + (c0 / kNR) * kNR * k;
+    const std::size_t cols = std::min(kNR, n - c0);
+    for (std::size_t p0 = r0; p0 < r1; p0 += kMR) {
+      tile_kernel(k, pa.data() + (p0 - r0) * k, bp, alpha, beta,
+                  c.data() + p0 * n + c0, n, std::min(kMR, r1 - p0), cols);
+    }
+  }
+}
+
+/// Deterministic 4-lane dot product (fixed reduction tree, vectorizable
+/// without reassociation licenses).
+float dot_k(const float* __restrict__ x, const float* __restrict__ y, std::size_t k) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    s0 += x[p] * y[p];
+    s1 += x[p + 1] * y[p + 1];
+    s2 += x[p + 2] * y[p + 2];
+    s3 += x[p + 3] * y[p + 3];
+  }
+  float tail = 0.0f;
+  for (; p < k; ++p) tail += x[p] * y[p];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+/// Narrow-output fast path (n ≤ kSmallN — the MLP's scalar prediction head,
+/// and gemv): per-row dot products against k-contiguous B columns. Skips the
+/// panel machinery entirely; the packed-to-NR tile kernel would spend
+/// kNR/n of its work multiplying padding.
+void gemm_small_n(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+                  float beta, Matrix& c, const GemmDims& d, bool threaded) {
+  const auto [m, n, k] = d;
+  // B columns, k-contiguous: a transposed B already stores them as rows.
+  const float* bcols;
+  if (trans_b == Trans::Yes) {
+    bcols = b.data();
+  } else {
+    tl_pack_b.resize(n * k);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t x = 0; x < k; ++x) tl_pack_b[j * k + x] = b(x, j);
+    }
+    bcols = tl_pack_b.data();
+  }
+  // A rows, k-contiguous: a non-transposed A already stores them as rows.
+  const float* arows;
+  if (trans_a == Trans::No) {
+    arows = a.data();
+  } else {
+    tl_pack_a.resize(m * k);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t x = 0; x < k; ++x) tl_pack_a[i * k + x] = a(x, i);
+    }
+    arows = tl_pack_a.data();
+  }
+  const auto rows = [&, n = n, k = k](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float dot = alpha * dot_k(arows + i * k, bcols + j * k, k);
+        crow[j] = (beta == 0.0f) ? dot : dot + beta * crow[j];
+      }
+    }
+  };
+  if (threaded && m > 2 * kMC) {
+    ThreadPool::global().parallel_for(m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+/// Tiny-row fast path (m ≤ kTinyM, both operands untransposed — the
+/// single-candidate prediction shape): stream B rows once per K step with no
+/// packing at all.
+void gemm_tiny_m(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+                 const GemmDims& d) {
+  const auto [m, n, k] = d;
+  for (std::size_t r = 0; r < m; ++r) {
+    float* crow = c.data() + r * n;
+    if (beta == 0.0f) {
+      std::fill_n(crow, n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a.data() + r * k;
+    for (std::size_t x = 0; x < k; ++x) {
+      const float av = alpha * arow[x];
+      const float* brow = b.data() + x * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+                  float beta, Matrix& c, bool threaded) {
+  const GemmDims d = check_gemm_shapes(trans_a, trans_b, a, b, c);
+  const auto [m, n, k] = d;
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    scale(beta, c);
+    return;
+  }
+  // Dispatch depends only on the problem shape, never on `threaded` or pool
+  // size, so every entry point lands in the same kernel for equal inputs.
+  if (n <= kSmallN) {
+    gemm_small_n(trans_a, trans_b, alpha, a, b, beta, c, d, threaded);
+    return;
+  }
+  if (m <= kTinyM && trans_a == Trans::No && trans_b == Trans::No) {
+    gemm_tiny_m(alpha, a, b, beta, c, d);
+    return;
+  }
+
+  tl_pack_b.resize(round_up(n, kNR) * k);
+  pack_b_panels(trans_b, b, n, k, tl_pack_b.data());
+  const float* pb = tl_pack_b.data();
+
+  const std::size_t row_blocks = (m + kMC - 1) / kMC;
+  const std::size_t col_groups = threaded ? (n + kNC - 1) / kNC : 1;
+  const std::size_t tasks = row_blocks * col_groups;
+  if (!threaded || tasks == 1) {
+    for (std::size_t rb = 0; rb < row_blocks; ++rb) {
+      const std::size_t r0 = rb * kMC;
+      run_block(trans_a, alpha, a, beta, c, k, n, r0, std::min(m, r0 + kMC), 0, n, pb,
+                tl_pack_a);
+    }
+    return;
+  }
+  // 2D task grid over row blocks × column groups: skinny-but-wide shapes
+  // (few row blocks, many columns) still fill the pool. Workers pack into
+  // their own thread-local arenas; the shared packed B is read-only.
+  ThreadPool::global().parallel_for_each(
+      tasks, [&, m = m, n = n, k = k, col_groups](std::size_t t) {
+        const std::size_t r0 = (t / col_groups) * kMC;
+        const std::size_t j0 = (t % col_groups) * kNC;
+        run_block(trans_a, alpha, a, beta, c, k, n, r0, std::min(m, r0 + kMC), j0,
+                  std::min(n, j0 + kNC), pb, tl_pack_a);
+      });
 }
 
 }  // namespace
 
 void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
           float beta, Matrix& c) {
-  const auto [m, n, k] = check_gemm_shapes(trans_a, trans_b, a, b, c);
-  if (m == 0 || n == 0) return;
-  if (k == 0 || alpha == 0.0f) {
-    scale(beta, c);
-    return;
-  }
+  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c, /*threaded=*/true);
+}
 
-  // Pre-transpose B once when needed; for the MLP workloads (n is a layer
-  // width, k a batch) this costs far less than strided inner loops.
-  const Matrix* bp = &b;
-  Matrix b_packed;
-  if (trans_b == Trans::Yes) {
-    b_packed = b.transposed();
-    bp = &b_packed;
-  }
-
-  constexpr std::size_t kRowBlock = 32;
-  const std::size_t blocks = (m + kRowBlock - 1) / kRowBlock;
-
-  ThreadPool::global().parallel_for(blocks, [&](std::size_t blk_begin, std::size_t blk_end) {
-    std::vector<float> a_buf;
-    for (std::size_t blk = blk_begin; blk < blk_end; ++blk) {
-      const std::size_t r0 = blk * kRowBlock;
-      const std::size_t r1 = std::min(m, r0 + kRowBlock);
-      pack_a(trans_a, a, r0, r1, k, a_buf);
-      for (std::size_t r = r0; r < r1; ++r) {
-        float* crow = c.data() + r * n;
-        if (beta == 0.0f) {
-          std::fill_n(crow, n, 0.0f);
-        } else if (beta != 1.0f) {
-          for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-        }
-        const float* arow = a_buf.data() + (r - r0) * k;
-        for (std::size_t x = 0; x < k; ++x) {
-          const float av = alpha * arow[x];
-          if (av == 0.0f) continue;
-          const float* brow = bp->data() + x * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
+void gemm_serial(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+                 float beta, Matrix& c) {
+  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c, /*threaded=*/false);
 }
 
 void gemm_reference(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,

@@ -2,6 +2,13 @@
 //
 // Only what the MLP and the reference checks need: GEMM with optional
 // transposes, GEMV, rank-agnostic elementwise ops, and row/col reductions.
+//
+// The GEMM is a register-blocked panel kernel (see blas.cpp): op(A) is packed
+// into MR-interleaved row panels, op(B) into NR-wide column panels, and an
+// MR×NR accumulator tile lives in registers across the whole K loop — no
+// per-element branches, no C traffic inside the inner loop. The same tile
+// code backs both entry points below, so `gemm` and `gemm_serial` produce
+// bit-identical results for equal inputs regardless of thread count.
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -12,9 +19,19 @@ enum class Trans { No, Yes };
 
 /// C = alpha * op(A) * op(B) + beta * C.
 /// op(A) is rows(A) x cols(A) after the optional transpose; shapes are
-/// validated against C. Parallelized over row blocks of C on the global pool.
+/// validated against C. Parallelized over row blocks *and* column panels of C
+/// on the global pool; falls back to the serial kernel when the problem is
+/// too small to split.
 void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
           float beta, Matrix& c);
+
+/// Same math and bit-identical results as `gemm`, guaranteed to run entirely
+/// on the calling thread. This is the entry point for callers that already
+/// execute on the global pool (the chunked model-scoring pipeline runs one
+/// forward pass per worker) — nesting the parallel `gemm` there would only
+/// fight its own siblings for the queue.
+void gemm_serial(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,
+                 float beta, Matrix& c);
 
 /// Naive triple loop, serial; used to validate the blocked kernel.
 void gemm_reference(Trans trans_a, Trans trans_b, float alpha, const Matrix& a, const Matrix& b,

@@ -27,6 +27,12 @@ float Matrix::at(std::size_t r, std::size_t c) const {
 
 void Matrix::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::randomize_uniform(Rng& rng, float lo, float hi) {
   for (float& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
 }

@@ -42,6 +42,12 @@ class Matrix {
   void fill(float v) noexcept;
   void set_zero() noexcept { fill(0.0f); }
 
+  /// Re-dimension in place, keeping the underlying buffer: existing contents
+  /// are invalidated, but capacity is never released and only grows when the
+  /// new extent exceeds every previous one. Workspace matrices reshaped per
+  /// chunk therefore allocate at most once (at the largest batch seen).
+  void reshape(std::size_t rows, std::size_t cols);
+
   /// i.i.d. uniform in [lo, hi).
   void randomize_uniform(Rng& rng, float lo, float hi);
   /// i.i.d. normal(mean, stddev).

@@ -65,6 +65,38 @@ Matrix Mlp::forward(const Matrix& x, Cache* cache) const {
   return a;
 }
 
+const Matrix& Mlp::forward_into(Workspace& ws) const {
+  if (ws.x.cols() != static_cast<std::size_t>(config_.inputs)) {
+    throw std::invalid_argument("Mlp::forward_into: feature arity mismatch");
+  }
+  const std::size_t batch = ws.x.rows();
+  ws.a.resize(weights_.size());
+  const Matrix* prev = &ws.x;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Matrix& z = ws.a[l];
+    z.reshape(batch, weights_[l].cols());
+    linalg::gemm_serial(Trans::No, Trans::No, 1.0f, *prev, weights_[l], 0.0f, z);
+    // Bias broadcast and ReLU fused into one pass over z (same value order as
+    // forward()'s add_row_vector-then-relu, so results stay bit-identical).
+    const float* bias = biases_[l].data();
+    const std::size_t cols = z.cols();
+    const bool is_output = l + 1 == weights_.size();
+    for (std::size_t r = 0; r < batch; ++r) {
+      float* zrow = z.data() + r * cols;
+      if (is_output) {
+        for (std::size_t c = 0; c < cols; ++c) zrow[c] += bias[c];
+      } else {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const float v = zrow[c] + bias[c];
+          zrow[c] = v > 0.0f ? v : 0.0f;
+        }
+      }
+    }
+    prev = &z;
+  }
+  return ws.a.back();
+}
+
 void Mlp::backward(const Cache& cache, const Matrix& dLdy, std::vector<Matrix>& dW,
                    std::vector<Matrix>& db) const {
   const std::size_t L = weights_.size();

@@ -36,8 +36,25 @@ class Mlp {
     std::vector<linalg::Matrix> z;  // pre-activations per layer
   };
 
+  /// Caller-owned forward-pass arena: the input matrix plus one activation
+  /// buffer per layer, reshaped (never reallocated past their high-water
+  /// mark) on every forward_into call. One workspace per thread lets a
+  /// chunked scoring pass run arbitrarily many forward passes with zero
+  /// transient allocations after warmup. Workspaces are not tied to one Mlp:
+  /// forward_into re-sizes the buffers to whatever network uses them.
+  struct Workspace {
+    linalg::Matrix x;               // [batch × inputs], filled by the caller
+    std::vector<linalg::Matrix> a;  // per-layer activations, a.back() = output
+  };
+
   /// x: [batch × inputs]; returns [batch × 1] predictions.
   linalg::Matrix forward(const linalg::Matrix& x, Cache* cache = nullptr) const;
+
+  /// Allocation-free forward pass over ws.x (batch = ws.x.rows()): runs
+  /// entirely on the calling thread (linalg::gemm_serial) and reuses the
+  /// workspace's buffers. Returns ws.a.back(), valid until the next call.
+  /// Bit-identical to forward() on the same input.
+  const linalg::Matrix& forward_into(Workspace& ws) const;
 
   /// dLdy: [batch × 1] gradient of the loss w.r.t. the output. Fills
   /// per-layer weight/bias gradients (same shapes as weights()/biases()).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -112,6 +113,76 @@ std::vector<double> Regressor::predict_gflops_chunked(
     const std::size_t begin = ci * batch;
     const std::size_t end = std::min(rows.size(), begin + batch);
     predict_gflops_range(rows, begin, end, out.data() + begin);
+  });
+  return out;
+}
+
+void Regressor::predict_gflops_range(const tuning::FeatureBatch& batch, std::size_t begin,
+                                     std::size_t end, Mlp::Workspace& ws, double* out) const {
+  const std::size_t arity = feature_scaler_.mean.size();
+  const double* mean = feature_scaler_.mean.data();
+  const double* stddev = feature_scaler_.stddev.data();
+  ws.x.reshape(end - begin, arity);
+  // Fused §5.2 pipeline: log transform, standardize, float cast — one loop,
+  // written straight into the workspace's input matrix. Same operation order
+  // as preprocess() + Scaler::apply(), so the encodes stay bit-identical to
+  // the legacy path; arity was validated once at the batch boundary.
+  //
+  // Enumerated candidate batches repeat values heavily down each column (the
+  // shape features are constant, and adjacent candidates differ only in the
+  // fast-advancing parameters), so a per-column last-value memo skips the
+  // transcendental for most entries. Reusing the identical encoded float
+  // keeps results exactly equal to recomputing it.
+  constexpr std::size_t kMemoCap = 64;
+  double last_raw[kMemoCap];
+  float last_enc[kMemoCap];
+  const bool memo = arity <= kMemoCap;
+  if (memo) std::fill_n(last_raw, arity, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t r = begin; r < end; ++r) {
+    const double* src = batch.row(r);
+    float* dst = ws.x.data() + (r - begin) * arity;
+    for (std::size_t c = 0; c < arity; ++c) {
+      double v = src[c];
+      if (memo && v == last_raw[c]) {
+        dst[c] = last_enc[c];
+        continue;
+      }
+      if (memo) last_raw[c] = v;
+      if (log_features_) {
+        if (v <= 0.0) throw std::invalid_argument("log feature transform: non-positive feature");
+        v = std::log(v);
+      }
+      const float enc = static_cast<float>((v - mean[c]) / stddev[c]);
+      if (memo) last_enc[c] = enc;
+      dst[c] = enc;
+    }
+  }
+  const linalg::Matrix& y = net_.forward_into(ws);
+  for (std::size_t i = 0; i < end - begin; ++i) {
+    const double z = static_cast<double>(y(i, 0)) * y_std_ + y_mean_;  // log-GFLOPS
+    out[i] = std::exp(z);
+  }
+}
+
+std::vector<double> Regressor::predict_gflops_chunked(const tuning::FeatureBatch& batch,
+                                                      std::size_t chunk) const {
+  if (batch.empty()) return {};
+  if (batch.arity() != feature_scaler_.mean.size()) {
+    throw std::invalid_argument(strings::format(
+        "predict_gflops_chunked: batch arity %zu does not match the model's %zu features",
+        batch.arity(), feature_scaler_.mean.size()));
+  }
+  std::vector<double> out(batch.rows());
+  if (chunk == 0) chunk = batch.rows();
+  const std::size_t num_chunks = (batch.rows() + chunk - 1) / chunk;
+  ThreadPool::global().parallel_for_each(num_chunks, [&](std::size_t ci) {
+    // One forward-pass arena per worker thread, reused across chunks and
+    // across scoring passes: after the first pass at a given chunk size the
+    // pipeline performs no transient allocations.
+    thread_local Mlp::Workspace ws;
+    const std::size_t begin = ci * chunk;
+    const std::size_t end = std::min(batch.rows(), begin + chunk);
+    predict_gflops_range(batch, begin, end, ws, out.data() + begin);
   });
   return out;
 }

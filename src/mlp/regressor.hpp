@@ -14,6 +14,7 @@
 #include "linalg/matrix.hpp"
 #include "mlp/net.hpp"
 #include "tuning/dataset.hpp"
+#include "tuning/feature_batch.hpp"
 
 namespace isaac::mlp {
 
@@ -34,6 +35,10 @@ struct Scaler {
   std::vector<double> stddev;
 
   void fit(const std::vector<std::vector<double>>& rows);
+  /// Per-row entry point (throws on arity mismatch). The batched scoring
+  /// pipeline does not call this: it validates arity once per FeatureBatch
+  /// and fuses the standardization into its encode loop instead of paying
+  /// the check per candidate.
   void apply(std::vector<double>& row) const;
 };
 
@@ -49,12 +54,26 @@ class Regressor {
   std::vector<double> predict_gflops_batch(const std::vector<std::vector<double>>& rows) const;
 
   /// Whole-space scoring: split `rows` into `batch`-sized chunks and score
-  /// them in parallel on the global thread pool. This is the entry point
-  /// model-guided search strategies rank X with (search/model_topk.hpp);
-  /// results are identical to predict_gflops_batch, independent of thread
-  /// count. `batch` == 0 falls back to one chunk.
+  /// them in parallel on the global thread pool. This is the legacy
+  /// vector-of-vectors entry point (kept as the parity oracle for the flat
+  /// path below); results are identical to predict_gflops_batch, independent
+  /// of thread count. `batch` == 0 falls back to one chunk.
   std::vector<double> predict_gflops_chunked(const std::vector<std::vector<double>>& rows,
                                              std::size_t batch) const;
+
+  /// Allocation-free whole-space scoring — the ranking hot path
+  /// (search/model_topk.hpp). Chunks the flat batch across the global pool;
+  /// each worker fuses the §5.2 log transform and the scaler into one encode
+  /// loop that writes straight into a thread-local, capacity-recycling
+  /// forward workspace (Mlp::Workspace), so after warmup a pass performs no
+  /// transient allocations. Feature arity is validated once per batch, not
+  /// per candidate. Scores are bit-identical to the legacy overload above,
+  /// independent of chunk size and thread count.
+  std::vector<double> predict_gflops_chunked(const tuning::FeatureBatch& batch,
+                                             std::size_t chunk) const;
+
+  /// Number of raw features one candidate row carries.
+  std::size_t num_features() const noexcept { return feature_scaler_.mean.size(); }
 
   /// MSE in standardized log-target units over a dataset (Table 2 metric).
   double mse(const tuning::Dataset& data) const;
@@ -73,6 +92,11 @@ class Regressor {
                               std::size_t end) const;
   void predict_gflops_range(const std::vector<std::vector<double>>& rows, std::size_t begin,
                             std::size_t end, double* out) const;
+  /// Fused log-transform + standardize + float cast for batch rows
+  /// [begin, end), written straight into ws.x; then one forward_into pass,
+  /// decoded into out[0, end - begin).
+  void predict_gflops_range(const tuning::FeatureBatch& batch, std::size_t begin,
+                            std::size_t end, Mlp::Workspace& ws, double* out) const;
 
   Mlp net_;
   Scaler feature_scaler_;

@@ -40,8 +40,11 @@ struct SearchConfig {
   /// Timing repetitions per measured candidate (median taken).
   int reeval_reps = 5;
 
-  /// MLP scoring batch for model-guided strategies.
-  std::size_t batch = 8192;
+  /// MLP scoring batch for model-guided strategies. Sized so one chunk's
+  /// activations (batch × widest layer floats) stay L2-resident during the
+  /// forward pass; scores are bit-identical for any chunking, so this is a
+  /// pure throughput knob.
+  std::size_t batch = 2048;
 
   /// Cap on the legal candidates a model-guided strategy ranks (0 = the op's
   /// default; for ops whose default is 0, the ranking is dense). Applied by

@@ -10,16 +10,40 @@
 // `rank_strided_probe` (bounded-work, what the zero-measurement dispatch
 // fast path in core::predict<Op>() takes on cold shapes).
 //
+// Two properties keep ranking cheap enough to sit on the dispatch path:
+//
+//  * The scoring pipeline is allocation-free: candidates featurize in place
+//    into one flat FeatureBatch (no vector-of-vectors), and the model scores
+//    it through thread-local forward workspaces (mlp/regressor.hpp).
+//
+//  * Dense enumeration runs over a *structural skeleton* — a per-process,
+//    per-(op, device, structural shape class, domains) cache of the X̂ points
+//    that pass every shape-independent legality check, computed once with
+//    OperationTraits<Op>::relax_shape and reused by every subsequent ranking.
+//    For the GEMM space ~3% of X̂ survives the structural checks, so a dense
+//    rank touches ~30× fewer points after the first sweep. The skeleton is a
+//    superset of every shape's legal set (relax_shape's contract), each
+//    surviving point is re-validated against the real shape, and flat-index
+//    order equals odometer order — candidate sets and orderings are exactly
+//    those of a full sweep.
+//
 // Ranking cost is bounded by SearchConfig::max_candidates: oversized legal
 // spaces are deterministically strided and the op's seed grid re-appended so
 // subsampling can never lose the well-known-good region.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/thread_pool.hpp"
 #include "search/random.hpp"  // choice_hash
+#include "tuning/feature_batch.hpp"
 
 namespace isaac::search {
 
@@ -36,15 +60,24 @@ struct RankedCandidates {
   std::size_t legal = 0;           // subset that passed validation
 };
 
-/// Decode a flat lexicographic index into a choice vector (dimension 0 least
-/// significant — the same order advance_choice walks).
-inline Choice choice_from_flat(std::size_t flat,
-                               const std::vector<tuning::ParameterDomain>& domains) {
-  Choice c(domains.size());
+/// Decode a flat lexicographic index into an existing choice vector
+/// (dimension 0 least significant — the same order advance_choice walks),
+/// reusing the caller's storage.
+inline void choice_from_flat_into(std::size_t flat,
+                                  const std::vector<tuning::ParameterDomain>& domains,
+                                  Choice& c) {
+  c.resize(domains.size());
   for (std::size_t d = 0; d < domains.size(); ++d) {
     c[d] = flat % domains[d].values.size();
     flat /= domains[d].values.size();
   }
+}
+
+/// Decode a flat lexicographic index into a fresh choice vector.
+inline Choice choice_from_flat(std::size_t flat,
+                               const std::vector<tuning::ParameterDomain>& domains) {
+  Choice c;
+  choice_from_flat_into(flat, domains, c);
   return c;
 }
 
@@ -65,18 +98,147 @@ void append_seed_grid(const SearchProblem<Op>& problem, std::vector<Choice>& can
   }
 }
 
+/// The device fields legality actually depends on (codegen::validate and the
+/// occupancy rules behind it), folded into the skeleton key so descriptors
+/// that share a name but differ in limits never share a skeleton.
+inline std::string device_limits_signature(const gpusim::DeviceDescriptor& dev) {
+  std::string sig;
+  for (const int v : {dev.max_threads_per_block, dev.warp_size, dev.max_warps_per_sm,
+                      dev.max_blocks_per_sm, dev.registers_per_sm, dev.max_registers_per_thread,
+                      dev.smem_per_sm_bytes, dev.smem_per_block_bytes,
+                      dev.reg_alloc_granularity, dev.smem_alloc_granularity}) {
+    sig += std::to_string(v);
+    sig += ',';
+  }
+  return sig;
+}
+
+/// One stable signature per domain list, so spaces with restricted domains
+/// (subclassed test spaces, future per-device prunes) never share a skeleton
+/// with the full space.
+inline std::string domains_signature(const std::vector<tuning::ParameterDomain>& domains) {
+  std::string sig;
+  for (const auto& d : domains) {
+    sig += d.name;
+    sig += ':';
+    for (int v : d.values) {
+      sig += std::to_string(v);
+      sig += ',';
+    }
+    sig += ';';
+  }
+  return sig;
+}
+
+/// The structural skeleton: ascending flat indices of every X̂ point that
+/// passes validation against the op's relaxed shape (shape-independent
+/// checks only, by relax_shape's contract). Computed once per process per
+/// (op kind, device, structural shape class, domains) and shared read-only;
+/// nullptr when the op has no relax_shape hook or X̂ does not fit the index
+/// type. Ascending flat order is exactly odometer order, so consumers
+/// produce the same candidate sequences as a full sweep.
+template <typename Op>
+std::shared_ptr<const std::vector<std::uint32_t>> structural_skeleton(
+    const SearchProblem<Op>& problem) {
+  using Traits = typename SearchProblem<Op>::Traits;
+  if constexpr (!requires { Traits::relax_shape(*problem.shape); }) {
+    return nullptr;
+  } else {
+    const auto& domains = problem.space->domains();
+    const std::size_t total = problem.space->size();
+    if (total > std::numeric_limits<std::uint32_t>::max()) return nullptr;
+
+    const typename Traits::Shape relaxed = Traits::relax_shape(*problem.shape);
+    const std::string key = std::string(Traits::kind()) + '|' + problem.device->name + '|' +
+                            device_limits_signature(*problem.device) + '|' +
+                            Traits::shape_key(relaxed) + '|' + domains_signature(domains);
+
+    using Skeleton = std::shared_ptr<const std::vector<std::uint32_t>>;
+    static std::mutex mutex;
+    static std::unordered_map<std::string, std::shared_future<Skeleton>> cache;
+    // Single-flight *per key*: the first ranking of a class pays the one
+    // full sweep (which the pre-skeleton code paid on *every* ranking) and
+    // publishes through a future, so concurrent rankings of the same class
+    // wait for it while different classes build or hit independently — the
+    // map mutex is only held for the lookup/insert.
+    std::promise<Skeleton> promise;
+    std::shared_future<Skeleton> fut;
+    bool builder = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      auto it = cache.find(key);
+      if (it != cache.end()) {
+        fut = it->second;
+      } else {
+        fut = cache.emplace(key, promise.get_future().share()).first->second;
+        builder = true;
+      }
+    }
+    if (!builder) return fut.get();
+
+    auto skeleton = std::make_shared<std::vector<std::uint32_t>>();
+    try {
+      // Parallel sweep over disjoint flat ranges; per-range results
+      // concatenate in range order, preserving the odometer order of a
+      // serial sweep.
+      const std::size_t chunk = 1 << 16;
+      const std::size_t chunks = (total + chunk - 1) / chunk;
+      std::vector<std::vector<std::uint32_t>> parts(chunks);
+      ThreadPool::global().parallel_for_each(chunks, [&](std::size_t ci) {
+        const std::size_t begin = ci * chunk;
+        const std::size_t end = std::min(total, begin + chunk);
+        Choice c;
+        choice_from_flat_into(begin, domains, c);
+        auto& part = parts[ci];
+        for (std::size_t flat = begin; flat < end; ++flat) {
+          if (Traits::validate(relaxed, problem.space->decode(c), *problem.device)) {
+            part.push_back(static_cast<std::uint32_t>(flat));
+          }
+          advance_choice(c, domains);
+        }
+      });
+      std::size_t n = 0;
+      for (const auto& part : parts) n += part.size();
+      skeleton->reserve(n);
+      for (const auto& part : parts) {
+        skeleton->insert(skeleton->end(), part.begin(), part.end());
+      }
+    } catch (...) {
+      // Un-publish the failed build so a later ranking can retry, and wake
+      // any waiters with the error instead of leaving them hung.
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        cache.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+    promise.set_value(skeleton);
+    return skeleton;
+  }
+}
+
 /// Score `out.candidates` with the model and fill `out.order` with the
 /// best-first top k (predicted GFLOPS, deterministic choice tie-break).
+/// Featurization writes in place into one flat batch; scoring reuses
+/// per-thread forward workspaces — no per-candidate allocations.
 template <typename Op>
 void score_and_order(const SearchProblem<Op>& problem, const SearchConfig& config,
                      std::size_t top_k, RankedCandidates<Op>& out) {
   if (out.candidates.empty()) return;
-  std::vector<std::vector<double>> rows(out.candidates.size());
-  ThreadPool::global().parallel_for_each(out.candidates.size(), [&](std::size_t i) {
-    rows[i] = problem.featurize(problem.space->decode(out.candidates[i]));
+  // Size rows by the *op's* feature arity (probed once via the allocating
+  // featurize), not the model's: featurize_into writes the op's full width,
+  // and a model trained with a different feature set must surface as the
+  // scorer's clean arity throw, not as out-of-row writes.
+  const std::vector<double> probe =
+      problem.featurize(problem.space->decode(out.candidates.front()));
+  tuning::FeatureBatch batch(probe.size(), out.candidates.size());
+  std::copy(probe.begin(), probe.end(), batch.row(0));
+  ThreadPool::global().parallel_for_each(out.candidates.size() - 1, [&](std::size_t i) {
+    problem.featurize_into(problem.space->decode(out.candidates[i + 1]), batch.row(i + 1));
   });
-  const std::size_t batch = config.batch > 0 ? config.batch : 8192;
-  out.scores = problem.model->predict_gflops_chunked(rows, batch);
+  const std::size_t chunk = config.batch > 0 ? config.batch : 8192;
+  out.scores = problem.model->predict_gflops_chunked(batch, chunk);
 
   // Only the first k ranks are ever consumed, so a partial sort suffices —
   // O(n log k) on the latency-critical dispatch path.
@@ -94,10 +256,10 @@ void score_and_order(const SearchProblem<Op>& problem, const SearchConfig& confi
 
 }  // namespace detail
 
-/// Dense ranking — the strategy's path: enumerate all of X̂, keep the legal
-/// points, stride oversized sets down to config.max_candidates (re-appending
-/// the seed grid), then model-score and order the top k. Requires
-/// problem.model.
+/// Dense ranking — the strategy's path: enumerate all of X̂ (through the
+/// structural skeleton when the op supports it), keep the legal points,
+/// stride oversized sets down to config.max_candidates (re-appending the
+/// seed grid), then model-score and order the top k. Requires problem.model.
 template <typename Op>
 RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
                                       const SearchConfig& config, std::size_t top_k) {
@@ -105,14 +267,41 @@ RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
   const auto& domains = problem.space->domains();
 
   // ---- enumerate the legal space ----------------------------------------
-  Choice odometer(domains.size(), 0);
-  do {
-    ++out.visited;
-    if (problem.legal(odometer)) {
-      ++out.legal;
-      out.candidates.push_back(odometer);
+  if (const auto skeleton = detail::structural_skeleton(problem)) {
+    // Only the structural survivors need a real legality check; the result
+    // (and its order) is identical to the full odometer sweep below, which
+    // conceptually still visited all of X̂ — keep the stats on that footing.
+    out.visited = problem.space->size();
+    const std::size_t chunk = 1 << 14;
+    const std::size_t chunks = (skeleton->size() + chunk - 1) / chunk;
+    std::vector<std::vector<Choice>> parts(chunks);
+    ThreadPool::global().parallel_for_each(chunks, [&](std::size_t ci) {
+      const std::size_t begin = ci * chunk;
+      const std::size_t end = std::min(skeleton->size(), begin + chunk);
+      auto& part = parts[ci];
+      Choice c;
+      for (std::size_t i = begin; i < end; ++i) {
+        choice_from_flat_into((*skeleton)[i], domains, c);
+        if (problem.legal(c)) part.push_back(c);
+      }
+    });
+    std::size_t n = 0;
+    for (const auto& part : parts) n += part.size();
+    out.candidates.reserve(n);
+    for (auto& part : parts) {
+      std::move(part.begin(), part.end(), std::back_inserter(out.candidates));
     }
-  } while (advance_choice(odometer, domains));
+    out.legal = out.candidates.size();
+  } else {
+    Choice odometer(domains.size(), 0);
+    do {
+      ++out.visited;
+      if (problem.legal(odometer)) {
+        ++out.legal;
+        out.candidates.push_back(odometer);
+      }
+    } while (advance_choice(odometer, domains));
+  }
   if (out.candidates.empty()) return out;
 
   // ---- subsample oversized spaces, keeping the seed grid ----------------
@@ -127,8 +316,8 @@ RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
       Choice& c = out.candidates[static_cast<std::size_t>(i * step)];
       if (in_kept.insert(choice_hash(c)).second) kept.push_back(std::move(c));
     }
-    // Probe uncounted: the odometer sweep above already visited (and
-    // counted) every point of X̂, this only re-selects from it.
+    // Probe uncounted: the enumeration above already accounted every point
+    // of X̂, this only re-selects from it.
     detail::append_seed_grid(problem, kept, in_kept);
     out.candidates = std::move(kept);
   }
@@ -157,12 +346,13 @@ RankedCandidates<Op> rank_strided_probe(const SearchProblem<Op>& problem,
 
   std::unordered_set<std::uint64_t> present;
   const double step = static_cast<double>(total) / static_cast<double>(std::max<std::size_t>(cap, 1));
+  Choice c;
   for (std::size_t i = 0; i < cap; ++i) {
-    Choice c = choice_from_flat(static_cast<std::size_t>(i * step), domains);
+    choice_from_flat_into(static_cast<std::size_t>(i * step), domains, c);
     ++out.visited;
     if (!problem.legal(c)) continue;
     ++out.legal;
-    if (present.insert(choice_hash(c)).second) out.candidates.push_back(std::move(c));
+    if (present.insert(choice_hash(c)).second) out.candidates.push_back(c);
   }
   detail::append_seed_grid(problem, out.candidates, present);
 

@@ -21,6 +21,7 @@
 // identical trajectories.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <vector>
@@ -70,6 +71,18 @@ struct SearchProblem {
     return Traits::validate(*shape, space->decode(c), *device);
   }
   std::vector<double> featurize(const Tuning& t) const { return Traits::featurize(*shape, t); }
+
+  /// In-place featurization for the allocation-free ranking pipeline. Ops
+  /// whose traits lack the featurize_into hook fall back to an adapter over
+  /// the allocating featurize (same values, one transient vector).
+  void featurize_into(const Tuning& t, double* out) const {
+    if constexpr (requires { Traits::featurize_into(*shape, t, out); }) {
+      Traits::featurize_into(*shape, t, out);
+    } else {
+      const std::vector<double> row = Traits::featurize(*shape, t);
+      std::copy(row.begin(), row.end(), out);
+    }
+  }
 };
 
 /// One candidate handed from a strategy to the driver. `predicted_gflops` is

@@ -191,7 +191,8 @@ CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfi
             [&](const auto& proposal, double gflops) {
               if (gflops <= 0.0) return;
               Sample s;
-              s.x = Traits::featurize(shape, proposal.tuning);
+              s.x.resize(kNumFeatures);
+              Traits::featurize_into(shape, proposal.tuning, s.x.data());
               s.y = gflops;
               out.push_back(std::move(s));
               local_time += shape_flops / (gflops * 1e9) * config.timing_reps;
@@ -215,7 +216,8 @@ CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfi
           if (!result.valid) continue;
 
           Sample s;
-          s.x = Traits::featurize(shape, tuning);
+          s.x.resize(kNumFeatures);
+          Traits::featurize_into(shape, tuning, s.x.data());
           s.y = result.tflops * 1000.0;  // GFLOPS
           out.push_back(std::move(s));
           local_time += result.seconds * config.timing_reps;

@@ -8,22 +8,37 @@
 
 namespace isaac::tuning {
 
+void features_into(const codegen::GemmShape& shape, const codegen::GemmTuning& t, double* out) {
+  out[0] = static_cast<double>(shape.m);
+  out[1] = static_cast<double>(shape.n);
+  out[2] = static_cast<double>(shape.k);
+  out[3] = static_cast<double>(gpusim::dtype_size(shape.dtype));
+  out[4] = shape.trans_a ? 2.0 : 1.0;
+  out[5] = shape.trans_b ? 2.0 : 1.0;
+  out[6] = static_cast<double>(t.ms);
+  out[7] = static_cast<double>(t.ns);
+  out[8] = static_cast<double>(t.ml);
+  out[9] = static_cast<double>(t.nl);
+  out[10] = static_cast<double>(t.u);
+  out[11] = static_cast<double>(t.ks);
+  out[12] = static_cast<double>(t.kl);
+  out[13] = static_cast<double>(t.kg);
+  out[14] = static_cast<double>(t.vec);
+}
+
+void features_into(const codegen::ConvShape& shape, const codegen::ConvTuning& t, double* out) {
+  features_into(codegen::conv_gemm_shape(shape), codegen::conv_gemm_tuning(t), out);
+}
+
+void features_into(const codegen::BatchedGemmShape& shape, const codegen::GemmTuning& t,
+                   double* out) {
+  features_into(shape.equivalent_gemm(), t, out);
+}
+
 std::vector<double> features(const codegen::GemmShape& shape, const codegen::GemmTuning& t) {
-  return {static_cast<double>(shape.m),
-          static_cast<double>(shape.n),
-          static_cast<double>(shape.k),
-          static_cast<double>(gpusim::dtype_size(shape.dtype)),
-          shape.trans_a ? 2.0 : 1.0,
-          shape.trans_b ? 2.0 : 1.0,
-          static_cast<double>(t.ms),
-          static_cast<double>(t.ns),
-          static_cast<double>(t.ml),
-          static_cast<double>(t.nl),
-          static_cast<double>(t.u),
-          static_cast<double>(t.ks),
-          static_cast<double>(t.kl),
-          static_cast<double>(t.kg),
-          static_cast<double>(t.vec)};
+  std::vector<double> out(kNumFeatures);
+  features_into(shape, t, out.data());
+  return out;
 }
 
 std::vector<double> features(const codegen::ConvShape& shape, const codegen::ConvTuning& t) {

@@ -34,6 +34,14 @@ std::vector<double> features(const codegen::ConvShape& shape, const codegen::Con
 std::vector<double> features(const codegen::BatchedGemmShape& shape,
                              const codegen::GemmTuning& t);
 
+/// In-place feature encodings: write exactly kNumFeatures doubles to `out`.
+/// The allocation-free scoring pipeline featurizes straight into a
+/// FeatureBatch row through these (OperationTraits<Op>::featurize_into).
+void features_into(const codegen::GemmShape& shape, const codegen::GemmTuning& t, double* out);
+void features_into(const codegen::ConvShape& shape, const codegen::ConvTuning& t, double* out);
+void features_into(const codegen::BatchedGemmShape& shape, const codegen::GemmTuning& t,
+                   double* out);
+
 class Dataset {
  public:
   void add(Sample s);

@@ -1,0 +1,64 @@
+// Flat row-major feature storage for whole-space model scoring.
+//
+// The ranking hot path scores hundreds of thousands of candidates per
+// dispatch; a vector-of-vectors representation costs one heap allocation and
+// one pointer chase per candidate. FeatureBatch keeps every row in a single
+// contiguous `rows × arity` double buffer: producers write rows in place
+// through `row(i)` (OperationTraits<Op>::featurize_into), consumers stream
+// the whole batch with one pointer walk, and `clear()`/`resize()` recycle
+// capacity so a reused batch allocates only when it grows past its largest
+// prior extent.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace isaac::tuning {
+
+class FeatureBatch {
+ public:
+  FeatureBatch() = default;
+  explicit FeatureBatch(std::size_t arity, std::size_t rows = 0) { reset(arity, rows); }
+
+  /// Re-arm for a new batch: sets the arity, sizes to `rows` zero rows, keeps
+  /// whatever capacity earlier batches grew.
+  void reset(std::size_t arity, std::size_t rows = 0) {
+    if (arity == 0) throw std::invalid_argument("FeatureBatch: arity must be positive");
+    arity_ = arity;
+    resize(rows);
+  }
+
+  /// Grow/shrink to `rows` rows (contents of surviving rows kept; new rows
+  /// zero). Capacity is never released.
+  void resize(std::size_t rows) {
+    rows_ = rows;
+    data_.resize(rows * arity_);
+  }
+
+  /// Drop all rows, keep arity and capacity.
+  void clear() { resize(0); }
+
+  /// Append one zero row and return its storage for in-place featurization.
+  double* append_row() {
+    data_.resize((rows_ + 1) * arity_);
+    return data_.data() + (rows_++) * arity_;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t arity() const noexcept { return arity_; }
+  bool empty() const noexcept { return rows_ == 0; }
+
+  double* row(std::size_t r) noexcept { return data_.data() + r * arity_; }
+  const double* row(std::size_t r) const noexcept { return data_.data() + r * arity_; }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+ private:
+  std::size_t arity_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace isaac::tuning

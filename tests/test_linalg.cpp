@@ -1,6 +1,8 @@
 // Unit + property tests for the CPU BLAS substrate.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "common/rng.hpp"
@@ -92,6 +94,115 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{37, 41, 53, Trans::Yes, Trans::Yes, -1.5f, 2.0f},
         GemmCase{128, 96, 64, Trans::No, Trans::No, 1.0f, 0.0f},
         GemmCase{100, 100, 1, Trans::No, Trans::No, 1.0f, 0.0f}));
+
+// Exhaustive parity grid for the register-blocked kernel: every combination
+// of odd/even/panel-straddling extents, both transposes, and the alpha/beta
+// corner values, against the double-accumulating reference within 1e-4.
+TEST(Gemm, ParityGridAgainstReference) {
+  const std::size_t extents[] = {1, 3, 8, 17, 64, 129};
+  const float coeffs[] = {0.0f, 1.0f, 0.5f};
+  Rng rng(2024);
+  for (const std::size_t m : extents) {
+    for (const std::size_t n : extents) {
+      for (const std::size_t k : extents) {
+        for (const Trans ta : {Trans::No, Trans::Yes}) {
+          for (const Trans tb : {Trans::No, Trans::Yes}) {
+            Matrix a(ta == Trans::No ? m : k, ta == Trans::No ? k : m);
+            Matrix b(tb == Trans::No ? k : n, tb == Trans::No ? n : k);
+            a.randomize_uniform(rng, -1.0f, 1.0f);
+            b.randomize_uniform(rng, -1.0f, 1.0f);
+            Matrix c0(m, n);
+            c0.randomize_uniform(rng, -1.0f, 1.0f);
+            for (const float alpha : coeffs) {
+              for (const float beta : coeffs) {
+                Matrix c_blocked = c0, c_ref = c0;
+                gemm(ta, tb, alpha, a, b, beta, c_blocked);
+                gemm_reference(ta, tb, alpha, a, b, beta, c_ref);
+                ASSERT_LT(Matrix::max_abs_diff(c_blocked, c_ref), 1e-4)
+                    << "m=" << m << " n=" << n << " k=" << k << " ta=" << (ta == Trans::Yes)
+                    << " tb=" << (tb == Trans::Yes) << " alpha=" << alpha << " beta=" << beta;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The serial entry point must be bit-identical to the threaded one across
+// every internal dispatch path (tile kernel, small-n dots, tiny-m rows):
+// chunked scoring leans on this to stay independent of thread count.
+TEST(Gemm, SerialMatchesThreadedBitExact) {
+  struct Case {
+    std::size_t m, n, k;
+  };
+  // Covers: tile path (64×64), small-n dot path (n ≤ 4), tiny-m path
+  // (m ≤ 4), and panel-straddling edges.
+  for (const Case c : {Case{64, 64, 64}, Case{300, 17, 33}, Case{129, 1, 64}, Case{2000, 3, 15},
+                       Case{2, 64, 15}, Case{37, 19, 129}}) {
+    Rng rng(static_cast<std::uint64_t>(c.m * 7 + c.n * 3 + c.k));
+    Matrix a(c.m, c.k), b(c.k, c.n);
+    a.randomize_uniform(rng, -1.0f, 1.0f);
+    b.randomize_uniform(rng, -1.0f, 1.0f);
+    Matrix c_par(c.m, c.n, 0.25f), c_ser(c.m, c.n, 0.25f);
+    gemm(Trans::No, Trans::No, 1.5f, a, b, 0.5f, c_par);
+    gemm_serial(Trans::No, Trans::No, 1.5f, a, b, 0.5f, c_ser);
+    for (std::size_t i = 0; i < c_par.size(); ++i) {
+      ASSERT_EQ(c_par.data()[i], c_ser.data()[i])
+          << "m=" << c.m << " n=" << c.n << " k=" << c.k << " at " << i;
+    }
+  }
+}
+
+// A zero in A multiplied with Inf/NaN in B must produce NaN (0·Inf = NaN in
+// IEEE 754), exactly like the reference. The old kernel's `if (av == 0.0f)
+// continue;` skip silently produced finite values here.
+TEST(Gemm, NonFiniteOperandsPropagateLikeReference) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+  const std::size_t m = 9, n = 21, k = 6;
+  Rng rng(77);
+  Matrix a(m, k), b(k, n);
+  a.randomize_uniform(rng, -1.0f, 1.0f);
+  b.randomize_uniform(rng, -1.0f, 1.0f);
+  // Row 2 of A is all zeros; rows 1/4 of B carry non-finite columns.
+  for (std::size_t x = 0; x < k; ++x) a(2, x) = 0.0f;
+  b(1, 5) = kInf;
+  b(4, 7) = kNaN;
+  b(1, n - 1) = -kInf;
+
+  Matrix c_blocked(m, n, 0.0f), c_ref(m, n, 0.0f);
+  gemm(Trans::No, Trans::No, 1.0f, a, b, 0.0f, c_blocked);
+  gemm_reference(Trans::No, Trans::No, 1.0f, a, b, 0.0f, c_ref);
+
+  std::size_t nan_cells = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(std::isnan(c_blocked(i, j)), std::isnan(c_ref(i, j))) << i << "," << j;
+      ASSERT_EQ(std::isinf(c_blocked(i, j)), std::isinf(c_ref(i, j))) << i << "," << j;
+      if (std::isnan(c_blocked(i, j))) ++nan_cells;
+    }
+  }
+  // The zero row times the Inf columns is where the old skip diverged: those
+  // cells must be NaN, not 0.
+  EXPECT_TRUE(std::isnan(c_blocked(2, 5)));
+  EXPECT_TRUE(std::isnan(c_blocked(2, 7)));
+  EXPECT_TRUE(std::isnan(c_blocked(2, n - 1)));
+  EXPECT_GE(nan_cells, 3u * 1u);
+}
+
+TEST(Matrix, ReshapeKeepsCapacityAndRedimensions) {
+  Matrix m(4, 8, 1.0f);
+  const float* before = m.data();
+  m.reshape(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m.data(), before);  // shrink never reallocates
+  m.reshape(4, 8);
+  EXPECT_EQ(m.data(), before);  // regrow within the high-water mark either
+}
 
 TEST(Gemm, ShapeMismatchThrows) {
   Matrix a(2, 3), b(4, 5), c(2, 5);

@@ -219,6 +219,81 @@ TEST(Regressor, MoreDataHelps) {
   EXPECT_LT(mse_large, mse_small);
 }
 
+// ------------------------------------------------ allocation-free forward --
+TEST(Mlp, ForwardIntoMatchesForwardBitExact) {
+  for (const auto& hidden : std::vector<std::vector<int>>{{8, 8}, {16}, {}}) {
+    MlpConfig cfg = tiny_config();
+    cfg.hidden = hidden;
+    Mlp net(cfg);
+    Rng rng(7 + hidden.size());
+    Mlp::Workspace ws;
+    // Shrinking batches exercise reshape-reuse of the workspace buffers.
+    for (const std::size_t batch : {33u, 64u, 5u, 1u}) {
+      Matrix x(batch, 4);
+      x.randomize_uniform(rng, -2.0f, 2.0f);
+      const Matrix legacy = net.forward(x);
+      ws.x = x;
+      const Matrix& fast = net.forward_into(ws);
+      ASSERT_EQ(fast.rows(), legacy.rows());
+      ASSERT_EQ(fast.cols(), legacy.cols());
+      for (std::size_t i = 0; i < legacy.size(); ++i) {
+        ASSERT_EQ(fast.data()[i], legacy.data()[i]) << "batch " << batch << " idx " << i;
+      }
+    }
+  }
+}
+
+TEST(Mlp, ForwardIntoRejectsArityMismatch) {
+  Mlp net(tiny_config());
+  Mlp::Workspace ws;
+  ws.x = Matrix(3, 5);  // net expects 4 inputs
+  EXPECT_THROW(net.forward_into(ws), std::invalid_argument);
+}
+
+TEST(Regressor, FlatBatchMatchesLegacyRowsBitExact) {
+  // The FeatureBatch pipeline (fused encode + thread-local workspaces) must
+  // reproduce the legacy vector-of-vectors scores exactly, for every chunk
+  // size — rank orderings depend on it.
+  auto data = synthetic_dataset(900, 0.05, 17);
+  TrainConfig cfg;
+  cfg.net.hidden = {16, 8};
+  cfg.epochs = 6;
+  const Regressor model = train(data, cfg);
+
+  std::vector<std::vector<double>> rows;
+  tuning::FeatureBatch batch(tuning::kNumFeatures);
+  for (std::size_t i = 0; i < 333; ++i) {
+    rows.push_back(data[i].x);
+    std::copy(data[i].x.begin(), data[i].x.end(), batch.append_row());
+  }
+  ASSERT_EQ(batch.rows(), rows.size());
+  ASSERT_EQ(model.num_features(), tuning::kNumFeatures);
+
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                  std::size_t{128}, std::size_t{1000}}) {
+    const auto legacy = model.predict_gflops_chunked(rows, chunk);
+    const auto flat = model.predict_gflops_chunked(batch, chunk);
+    ASSERT_EQ(legacy.size(), flat.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      ASSERT_DOUBLE_EQ(legacy[i], flat[i]) << "chunk " << chunk << " row " << i;
+    }
+  }
+}
+
+TEST(Regressor, FlatBatchArityValidatedOnceAtBoundary) {
+  auto data = synthetic_dataset(400, 0.05, 19);
+  TrainConfig cfg;
+  cfg.net.hidden = {8};
+  cfg.epochs = 4;
+  const Regressor model = train(data, cfg);
+
+  tuning::FeatureBatch wrong(tuning::kNumFeatures - 1, 10);
+  for (std::size_t r = 0; r < wrong.rows(); ++r) {
+    for (std::size_t c = 0; c < wrong.arity(); ++c) wrong.row(r)[c] = 2.0;
+  }
+  EXPECT_THROW(model.predict_gflops_chunked(wrong, 4), std::invalid_argument);
+}
+
 TEST(Regressor, PredictBatchMatchesScalar) {
   auto data = synthetic_dataset(800, 0.02, 5);
   TrainConfig cfg;

@@ -471,6 +471,121 @@ TEST(ModelGuidedTopK, MatchesExhaustiveOnSeedShapeGrid) {
       << mismatches;
 }
 
+// ----------------------------------------- ranking-rewrite determinism ----
+
+/// Pre-rewrite reference ranking: the exact candidate pipeline
+/// rank_legal_space ran before the structural-skeleton and FeatureBatch
+/// rewrite — serial odometer sweep, stride subsample with seed re-append,
+/// vector-of-vectors featurization through the legacy chunked scorer, full
+/// partial sort with the shared tie-break. A sibling replica lives in
+/// bench/bench_inference_throughput.cpp (legacy_rank) as the bench's
+/// before/after baseline — keep the two in sync.
+template <typename Op>
+search::RankedCandidates<Op> reference_rank(const search::SearchProblem<Op>& problem,
+                                            const search::SearchConfig& config,
+                                            std::size_t top_k) {
+  search::RankedCandidates<Op> out;
+  const auto& domains = problem.space->domains();
+  search::Choice odometer(domains.size(), 0);
+  do {
+    ++out.visited;
+    if (problem.legal(odometer)) {
+      ++out.legal;
+      out.candidates.push_back(odometer);
+    }
+  } while (search::advance_choice(odometer, domains));
+  if (out.candidates.empty()) return out;
+
+  const std::size_t cap = config.max_candidates;
+  if (cap > 0 && out.candidates.size() > cap) {
+    std::vector<search::Choice> kept;
+    std::unordered_set<std::uint64_t> in_kept;
+    const double step = static_cast<double>(out.candidates.size()) / static_cast<double>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      search::Choice& c = out.candidates[static_cast<std::size_t>(i * step)];
+      if (in_kept.insert(search::choice_hash(c)).second) kept.push_back(std::move(c));
+    }
+    search::detail::append_seed_grid(problem, kept, in_kept);
+    out.candidates = std::move(kept);
+  }
+
+  std::vector<std::vector<double>> rows(out.candidates.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = problem.featurize(problem.space->decode(out.candidates[i]));
+  }
+  out.scores = problem.model->predict_gflops_chunked(rows, config.batch);
+  out.order.resize(out.candidates.size());
+  for (std::size_t i = 0; i < out.order.size(); ++i) out.order[i] = i;
+  const std::size_t k = std::min(std::max<std::size_t>(top_k, 1), out.order.size());
+  std::partial_sort(out.order.begin(), out.order.begin() + static_cast<std::ptrdiff_t>(k),
+                    out.order.end(), [&](std::size_t a, std::size_t b) {
+                      if (out.scores[a] != out.scores[b]) return out.scores[a] > out.scores[b];
+                      return out.candidates[a] < out.candidates[b];
+                    });
+  out.order.resize(k);
+  return out;
+}
+
+TEST(RankLegalSpace, OrderingUnchangedByAllocationFreeRewrite) {
+  // Acceptance criterion for the scoring-pipeline rewrite: over the same
+  // 16-shape GEMM/conv grid the agreement test uses, the skeleton-backed,
+  // FeatureBatch-scored rank_legal_space must reproduce the pre-rewrite
+  // pipeline bit-for-bit — same candidate sequences, same scores, same
+  // best-first order, same X̂ accounting.
+  const gpusim::DeviceDescriptor& dev = gpusim::tesla_p100();
+  const tuning::GemmSearchSpace gemm_space;
+  const tuning::ConvSearchSpace conv_space;
+  constexpr std::size_t kTopK = 64;
+
+  const auto compare = [&](auto op_tag, const auto& space, const auto& shape) {
+    using Op = std::decay_t<decltype(op_tag)>;
+    search::SearchProblem<Op> problem;
+    problem.shape = &shape;
+    problem.device = &dev;
+    problem.space = &space;
+    problem.model = &shared_model();
+    search::SearchConfig cfg;
+    cfg.max_candidates = 20000;
+    const auto fast = search::rank_legal_space(problem, cfg, kTopK);
+    const auto truth = reference_rank(problem, cfg, kTopK);
+    ASSERT_EQ(fast.candidates, truth.candidates) << shape.to_string();
+    ASSERT_EQ(fast.scores.size(), truth.scores.size()) << shape.to_string();
+    for (std::size_t i = 0; i < truth.scores.size(); ++i) {
+      ASSERT_DOUBLE_EQ(fast.scores[i], truth.scores[i]) << shape.to_string() << " row " << i;
+    }
+    ASSERT_EQ(fast.order, truth.order) << shape.to_string();
+    EXPECT_EQ(fast.visited, truth.visited) << shape.to_string();
+    EXPECT_EQ(fast.legal, truth.legal) << shape.to_string();
+  };
+
+  for (const auto& shape : gemm_grid()) compare(core::GemmOp{}, gemm_space, shape);
+  for (const auto& shape : conv_grid()) compare(core::ConvOp{}, conv_space, shape);
+}
+
+TEST(RankStridedProbe, ReusableOdometerKeepsProbeDeterministic) {
+  // The probe's candidate set and ordering must be stable run-to-run (it is
+  // the zero-measurement dispatch path) and across the buffer-reuse rewrite.
+  const gpusim::DeviceDescriptor& dev = gpusim::tesla_p100();
+  const tuning::GemmSearchSpace space;
+  const auto shape = gemm_shape(2560, 32, 2560);
+  search::SearchProblem<core::GemmOp> problem;
+  problem.shape = &shape;
+  problem.device = &dev;
+  problem.space = &space;
+  problem.model = &shared_model();
+  search::SearchConfig cfg;
+  cfg.max_candidates = 4096;
+  const auto a = search::rank_strided_probe(problem, cfg, 8);
+  const auto b = search::rank_strided_probe(problem, cfg, 8);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.visited, b.visited);
+  ASSERT_FALSE(a.order.empty());
+  for (std::size_t i = 0; i < a.order.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.scores[a.order[i]], b.scores[b.order[i]]);
+  }
+}
+
 // ------------------------------------------------- adaptive collection ----
 TEST(AdaptiveCollection, StrategyDrivenSamplingFillsQuotaDeterministically) {
   gpusim::Simulator sim(gpusim::tesla_p100(), 0.03, 11);

@@ -10,6 +10,7 @@
 #include "gpusim/simulator.hpp"
 #include "tuning/collector.hpp"
 #include "tuning/dataset.hpp"
+#include "tuning/feature_batch.hpp"
 #include "tuning/generative.hpp"
 #include "tuning/search_space.hpp"
 
@@ -196,6 +197,55 @@ TEST(Dataset, FeatureEncodingArityAndPositivity) {
   EXPECT_DOUBLE_EQ(f[0], 2560.0);
   EXPECT_DOUBLE_EQ(f[4], 2.0);  // trans_a encoded as 2
   EXPECT_DOUBLE_EQ(f[5], 1.0);
+}
+
+TEST(Dataset, FeaturesIntoMatchesAllocatingFeatures) {
+  codegen::GemmShape s;
+  s.m = 896;
+  s.n = 128;
+  s.k = 1024;
+  s.trans_b = true;
+  codegen::GemmTuning t;
+  t.ms = 8;
+  t.kg = 4;
+  const auto legacy = features(s, t);
+  double flat[kNumFeatures];
+  features_into(s, t, flat);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) EXPECT_DOUBLE_EQ(flat[i], legacy[i]) << i;
+
+  const auto cs = codegen::ConvShape::from_npq(8, 14, 14, 128, 64, 3, 3);
+  const auto clegacy = features(cs, codegen::ConvTuning{});
+  features_into(cs, codegen::ConvTuning{}, flat);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) EXPECT_DOUBLE_EQ(flat[i], clegacy[i]) << i;
+}
+
+TEST(FeatureBatch, AppendResetAndCapacityReuse) {
+  FeatureBatch batch(3);
+  EXPECT_TRUE(batch.empty());
+  double* r0 = batch.append_row();
+  r0[0] = 1.0;
+  r0[1] = 2.0;
+  r0[2] = 3.0;
+  double* r1 = batch.append_row();
+  r1[2] = 9.0;
+  EXPECT_EQ(batch.rows(), 2u);
+  EXPECT_EQ(batch.arity(), 3u);
+  EXPECT_DOUBLE_EQ(batch.row(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(batch.row(1)[2], 9.0);
+  EXPECT_DOUBLE_EQ(batch.row(1)[0], 0.0);  // appended rows start zeroed
+
+  const double* storage = batch.data();
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.arity(), 3u);
+  batch.resize(2);
+  EXPECT_EQ(batch.data(), storage);  // shrink/regrow reuses capacity
+  EXPECT_EQ(batch.rows(), 2u);
+
+  batch.reset(5, 4);
+  EXPECT_EQ(batch.arity(), 5u);
+  EXPECT_EQ(batch.rows(), 4u);
+  EXPECT_THROW(batch.reset(0), std::invalid_argument);
 }
 
 TEST(Dataset, ConvFeaturesUseImplicitGemm) {
