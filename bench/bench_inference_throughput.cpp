@@ -368,12 +368,19 @@ search::RankedCandidates<Op> legacy_rank(const search::SearchProblem<Op>& proble
   return out;
 }
 
+/// Per-op outcome of the rank-throughput bench, so the summary (and CI) can
+/// gate on the weakest op instead of just the last one printed.
+struct RankThroughputResult {
+  double agreement = 0.0;     ///< top-k ordering agreement vs legacy_rank
+  double enum_speedup = 0.0;  ///< pruned-walk skeleton build vs generate-and-test
+  bool skeleton_match = true; ///< pruned survivor set == sweep survivor set
+};
+
 template <typename Op>
-double rank_throughput_op(const char* opname,
-                          const typename core::OperationTraits<Op>::Shape& rank_shape,
-                          const std::vector<typename core::OperationTraits<Op>::Shape>&
-                              cold_shapes,
-                          std::size_t max_candidates, const mlp::Regressor& m) {
+RankThroughputResult rank_throughput_op(
+    const char* opname, const typename core::OperationTraits<Op>::Shape& rank_shape,
+    const std::vector<typename core::OperationTraits<Op>::Shape>& cold_shapes,
+    std::size_t max_candidates, const mlp::Regressor& m, std::string* json_sink) {
   using Clock = std::chrono::steady_clock;
   const auto secs = [](Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -445,6 +452,57 @@ double rank_throughput_op(const char* opname,
     }
   }
 
+  // Enumeration engines head-to-head on the relaxed (skeleton) shape: the
+  // generate-and-test flat-range sweep the skeleton builder ran before the
+  // constraint-propagating rewrite, vs the pruned walk that replaced it —
+  // same thread pool, same validate gate, survivor sets compared exactly.
+  double enum_sweep_s = 0.0;
+  double enum_pruned_s = 0.0;
+  std::size_t skeleton_points = 0;
+  bool skeleton_match = true;
+  if constexpr (requires { core::OperationTraits<Op>::relax_shape(rank_shape); }) {
+    using Traits = core::OperationTraits<Op>;
+    const typename Traits::Shape relaxed = Traits::relax_shape(rank_shape);
+    const auto& domains = space.domains();
+    const std::size_t total = space.size();
+
+    // Three timed reps of each engine, interleaved so both sides sample the
+    // same machine-noise window; the engines are deterministic, so the
+    // per-side minimum is the measurement least polluted by noise.
+    constexpr int kEnumReps = 3;
+    std::vector<std::uint64_t> sweep;
+    std::vector<std::uint64_t> pruned;
+    for (int rep = 0; rep < kEnumReps; ++rep) {
+      t0 = Clock::now();
+      constexpr std::size_t kChunk = std::size_t{1} << 16;
+      const std::size_t nchunks = (total + kChunk - 1) / kChunk;
+      std::vector<std::vector<std::uint64_t>> parts(nchunks);
+      ThreadPool::global().parallel_for_each(nchunks, [&](std::size_t ci) {
+        const std::size_t begin = ci * kChunk;
+        const std::size_t end = std::min(total, begin + kChunk);
+        search::Choice c(domains.size(), 0);
+        search::choice_from_flat_into(begin, domains, c);
+        auto& part = parts[ci];
+        for (std::size_t flat = begin; flat < end; ++flat) {
+          if (Traits::validate(relaxed, space.decode(c), dev)) part.push_back(flat);
+          search::advance_choice(c, domains);
+        }
+      });
+      sweep.clear();
+      for (const auto& part : parts) sweep.insert(sweep.end(), part.begin(), part.end());
+      const double sweep_s = secs(t0);
+      if (rep == 0 || sweep_s < enum_sweep_s) enum_sweep_s = sweep_s;
+
+      t0 = Clock::now();
+      pruned = search::detail::build_skeleton_points(problem, relaxed);
+      const double pruned_s = secs(t0);
+      if (rep == 0 || pruned_s < enum_pruned_s) enum_pruned_s = pruned_s;
+    }
+
+    skeleton_points = pruned.size();
+    skeleton_match = (pruned == sweep);
+  }
+
   // Cold select() latency: fresh two-tier context, every shape a cache miss.
   core::ContextOptions opts = dispatch_options();
   opts.noise_sigma = 0.0;
@@ -459,10 +517,19 @@ double rank_throughput_op(const char* opname,
     ctx.drain_background();  // keep refinement out of the next timed select
   }
 
-  std::printf(
+  RankThroughputResult result;
+  result.agreement = agreement;
+  result.enum_speedup = enum_pruned_s > 0.0 ? enum_sweep_s / enum_pruned_s : 0.0;
+  result.skeleton_match = skeleton_match;
+
+  char line[1024];
+  std::snprintf(
+      line, sizeof(line),
       "{\"bench\":\"rank_throughput\",\"op\":\"%s\",\"space\":%zu,\"candidates\":%zu,"
       "\"cands_per_sec\":%.0f,\"cold_cands_per_sec\":%.0f,\"legacy_cands_per_sec\":%.0f,"
       "\"speedup_vs_legacy\":%.2f,\"ordering_agreement\":%.3f,"
+      "\"skeleton_points\":%zu,\"enum_sweep_s\":%.3f,\"enum_pruned_s\":%.3f,"
+      "\"enum_speedup\":%.2f,\"skeleton_match\":%s,"
       "\"p50_select_us\":%.1f,\"p99_select_us\":%.1f,"
       "\"chunk_us_first\":%.1f,\"chunk_us_p50\":%.1f,\"chunk_us_max\":%.1f}\n",
       opname, space.size(), fast.candidates.size(),
@@ -471,11 +538,15 @@ double rank_throughput_op(const char* opname,
       static_cast<double>(legacy.candidates.size()) / legacy_s,
       (static_cast<double>(scored) / warm_s) /
           (static_cast<double>(legacy.candidates.size()) / legacy_s),
-      agreement, stats::percentile(select_us, 0.50), stats::percentile(select_us, 0.99),
-      chunk_us.front(), stats::percentile(chunk_us, 0.50),
+      agreement, skeleton_points, enum_sweep_s, enum_pruned_s, result.enum_speedup,
+      skeleton_match ? "true" : "false", stats::percentile(select_us, 0.50),
+      stats::percentile(select_us, 0.99), chunk_us.front(),
+      stats::percentile(chunk_us, 0.50),
       *std::max_element(chunk_us.begin(), chunk_us.end()));
+  std::fputs(line, stdout);
   std::fflush(stdout);
-  return agreement;
+  if (json_sink) json_sink->append(line);
+  return result;
 }
 
 int run_rank_throughput() {
@@ -541,19 +612,37 @@ int run_rank_throughput() {
   bgemm_rank.gemm.n = 64;
   bgemm_rank.gemm.k = 512;
 
-  double min_agreement = 1.0;
-  min_agreement = std::min(
-      min_agreement, rank_throughput_op<core::GemmOp>("gemm", gemm_rank, gemm_cold, 0, m));
-  min_agreement = std::min(min_agreement, rank_throughput_op<core::ConvOp>(
-                                              "conv", conv_rank, conv_cold, 200000, m));
-  min_agreement = std::min(min_agreement, rank_throughput_op<core::BatchedGemmOp>(
-                                              "bgemm", bgemm_rank, bgemm_cold, 0, m));
+  std::string json;
+  const auto gemm_res =
+      rank_throughput_op<core::GemmOp>("gemm", gemm_rank, gemm_cold, 0, m, &json);
+  const auto conv_res =
+      rank_throughput_op<core::ConvOp>("conv", conv_rank, conv_cold, 200000, m, &json);
+  const auto bgemm_res =
+      rank_throughput_op<core::BatchedGemmOp>("bgemm", bgemm_rank, bgemm_cold, 0, m, &json);
+  const double min_agreement =
+      std::min({gemm_res.agreement, conv_res.agreement, bgemm_res.agreement});
+  const bool all_match =
+      gemm_res.skeleton_match && conv_res.skeleton_match && bgemm_res.skeleton_match;
 
-  std::printf(
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
       "{\"bench\":\"rank_throughput\",\"op\":\"summary\",\"gemm_speedup_vs_reference\":%.2f,"
-      "\"min_ordering_agreement\":%.3f}\n",
-      gemm_speedup, min_agreement);
+      "\"min_ordering_agreement\":%.3f,\"conv_enum_speedup\":%.2f,"
+      "\"min_enum_speedup\":%.2f,\"all_skeleton_match\":%s}\n",
+      gemm_speedup, min_agreement, conv_res.enum_speedup,
+      std::min({gemm_res.enum_speedup, conv_res.enum_speedup, bgemm_res.enum_speedup}),
+      all_match ? "true" : "false");
+  std::fputs(line, stdout);
   std::fflush(stdout);
+  json.append(line);
+
+  // Artifact copy for CI upload / trajectory diffing: one JSON object per
+  // line, same content as stdout.
+  if (std::FILE* f = std::fopen("BENCH_rank_throughput.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
   return 0;
 }
 

@@ -21,6 +21,15 @@
 //                                       structural-skeleton enumeration
 //                                       cache (optional: ops without it
 //                                       rank with a dense legality sweep)
+//   prefix_constraints(shape, dev,
+//                      space)         — the per-dimension partial-validity
+//                                       layer for the constraint-propagating
+//                                       space walk (tuning::walk_legal):
+//                                       necessary conditions of validate,
+//                                       evaluated on prefixes so illegal
+//                                       subtrees are pruned unvisited
+//                                       (optional: ops without it enumerate
+//                                       generate-and-test)
 //   flops(shape)                      — useful FLOPs of one call
 //   shape_key / encode_tuning /
 //   decode_tuning                     — cache key derivation and the textual
@@ -91,6 +100,14 @@ struct OperationTraits<GemmOp> {
     return r;
   }
 
+  /// Prefix predicates for the pruned legal-space walk: tile divisibility,
+  /// shared-memory/occupancy bounds, reduction-split limits.
+  static tuning::ConstraintSet prefix_constraints(const Shape& s,
+                                                  const gpusim::DeviceDescriptor& dev,
+                                                  const SearchSpace& space) {
+    return space.prefix_constraints(s, dev);
+  }
+
   static std::string shape_key(const Shape& s);
   static std::string encode_tuning(const Tuning& t);
   static bool decode_tuning(const std::string& text, Tuning& t);
@@ -145,6 +162,14 @@ struct OperationTraits<ConvOp> {
     return r;
   }
 
+  /// Prefix predicates through the implicit-GEMM lowering (output-extent and
+  /// C·R·S reduction limits plus the lowered GEMM's structural bounds).
+  static tuning::ConstraintSet prefix_constraints(const Shape& s,
+                                                  const gpusim::DeviceDescriptor& dev,
+                                                  const SearchSpace& space) {
+    return space.prefix_constraints(s, dev);
+  }
+
   static std::string shape_key(const Shape& s);
   static std::string encode_tuning(const Tuning& t);
   static bool decode_tuning(const std::string& text, Tuning& t);
@@ -195,6 +220,26 @@ struct OperationTraits<BatchedGemmOp> {
     r.gemm = OperationTraits<GemmOp>::relax_shape(s.gemm);
     r.batch = 1;
     return r;
+  }
+
+  /// The per-matrix GEMM layer, plus the batched-specific conditions: an
+  /// empty batch makes everything illegal, and KG must stay 1. The default
+  /// batched space pins KG = {1} in its domain already; the predicate keeps
+  /// the layer exact for subclass spaces that widen it.
+  static tuning::ConstraintSet prefix_constraints(const Shape& s,
+                                                  const gpusim::DeviceDescriptor& dev,
+                                                  const SearchSpace& space) {
+    codegen::GemmShape g = s.gemm;
+    if (s.batch <= 0) g.k = 0;  // degenerate → the builder emits a prune-all predicate
+    tuning::ConstraintSet cs = space.prefix_constraints(g, dev);
+    const auto& domains = space.domains();
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      if (domains[d].name == "kg") {
+        cs.add_unary("batched kg=1", d, [d](const int* v) { return v[d] == 1; });
+        break;
+      }
+    }
+    return cs;
   }
 
   static std::string shape_key(const Shape& s);

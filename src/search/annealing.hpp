@@ -100,7 +100,9 @@ class SimulatedAnnealing final : public SearchStrategy<Op> {
       if (this->check(c)) return c;
     }
     // Sparse legal space (fractions of 1e-4 exist): fall back to the
-    // guaranteed scan so a tunable shape never reports "no legal config".
+    // guaranteed repair — the constraint-propagating pruned walk — so a
+    // tunable shape never reports "no legal config" and the fallback costs
+    // the plausible space, not |X̂|.
     return this->scan_for_legal(this->random_choice());
   }
 

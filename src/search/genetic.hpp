@@ -123,9 +123,11 @@ class GeneticSearch final : public SearchStrategy<Op> {
       if (!seen_.insert(choice_hash(c)).second) continue;
       if (this->check(c)) return c;
     }
-    // Sparse legal space: fall back to the guaranteed scan. A scan that only
-    // finds an already-seen point reports failure — there is nothing *new*
-    // within reach, and the caller treats re-proposals separately.
+    // Sparse legal space: fall back to the guaranteed repair — the
+    // constraint-propagating pruned walk, so it costs the plausible space,
+    // not |X̂|. A repair that only finds an already-seen point reports
+    // failure — there is nothing *new* within reach, and the caller treats
+    // re-proposals separately.
     auto c = this->scan_for_legal(this->random_choice());
     if (c && !seen_.insert(choice_hash(*c)).second) return std::nullopt;
     return c;

@@ -27,12 +27,22 @@
 //    order equals odometer order — candidate sets and orderings are exactly
 //    those of a full sweep.
 //
+//  * Enumeration itself — the skeleton *build*, the dense fallback for ops
+//    without relax_shape or spaces too large to materialize, and the repair
+//    scans — goes through the constraint-propagating pruned walk
+//    (tuning::walk_legal + the op's prefix_constraints): whole illegal
+//    subtrees are skipped unvisited, so iteration cost scales with the legal
+//    space X, not |X̂|. The walk emits in exactly odometer order and every
+//    survivor still passes the full validate gate, so candidate sets, scores
+//    and orderings stay bit-identical to the generate-and-test sweep.
+//
 // Ranking cost is bounded by SearchConfig::max_candidates: oversized legal
 // spaces are deterministically strided and the op's seed grid re-appended so
 // subsampling can never lose the well-known-good region.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <future>
 #include <limits>
@@ -42,6 +52,7 @@
 #include <unordered_map>
 
 #include "common/thread_pool.hpp"
+#include "search/legal_walk.hpp"
 #include "search/random.hpp"  // choice_hash
 #include "tuning/feature_batch.hpp"
 
@@ -130,15 +141,71 @@ inline std::string domains_signature(const std::vector<tuning::ParameterDomain>&
   return sig;
 }
 
+/// Largest |X̂| a structural skeleton is materialized for. Spaces past it —
+/// and saturated size() sentinels — take the lazy pruned-walk path in
+/// rank_legal_space instead. 64-bit indices make this a memory-policy bound,
+/// not an overflow hazard (the old 32-bit indices silently capped the
+/// representable space at the same 2^32 the guard now enforces explicitly).
+inline constexpr std::size_t kSkeletonMaxPoints = std::size_t{1} << 32;
+
+/// Uncached core of the skeleton build: the constraint-propagating pruned
+/// walk over the relaxed shape's plausible subtrees, gated by the full
+/// validate and chunked for the pool by surviving prefix — ascending flat
+/// indices, exactly the generate-and-test sweep's survivor set. Exposed
+/// separately from the cache so the bench can time it against the sweep it
+/// replaced.
+template <typename Op>
+std::vector<std::uint64_t> build_skeleton_points(
+    const SearchProblem<Op>& problem,
+    const typename SearchProblem<Op>::Traits::Shape& relaxed) {
+  using Traits = typename SearchProblem<Op>::Traits;
+  const auto& domains = problem.space->domains();
+  const tuning::ConstraintSet cs =
+      prefix_constraints_for<Op>(relaxed, *problem.device, *problem.space);
+  const tuning::ConstraintSet* csp = cs.empty() ? nullptr : &cs;
+  // One worker: the chunk plan buys no parallelism, so walk directly — no
+  // prefix planning, no per-chunk part vectors, no concatenation.
+  if (ThreadPool::global().size() <= 1) {
+    std::vector<std::uint64_t> skeleton;
+    skeleton.reserve(std::size_t{1} << 16);
+    tuning::walk_legal(domains, csp, [&](const Choice& c, std::uint64_t flat) {
+      if (Traits::validate(relaxed, problem.space->decode(c), *problem.device)) {
+        skeleton.push_back(flat);
+      }
+      return true;
+    });
+    return skeleton;
+  }
+  const WalkChunkPlan plan = plan_legal_walk(domains, csp);
+  std::vector<std::vector<std::uint64_t>> parts(plan.prefixes.size());
+  ThreadPool::global().parallel_for_each(plan.prefixes.size(), [&](std::size_t ci) {
+    auto& part = parts[ci];
+    run_walk_chunk(domains, csp, plan, ci, [&](const Choice& c, std::uint64_t flat) {
+      if (Traits::validate(relaxed, problem.space->decode(c), *problem.device)) {
+        part.push_back(flat);
+      }
+      return true;
+    });
+  });
+  std::vector<std::uint64_t> skeleton;
+  std::size_t n = 0;
+  for (const auto& part : parts) n += part.size();
+  skeleton.reserve(n);
+  for (const auto& part : parts) {
+    skeleton.insert(skeleton.end(), part.begin(), part.end());
+  }
+  return skeleton;
+}
+
 /// The structural skeleton: ascending flat indices of every X̂ point that
 /// passes validation against the op's relaxed shape (shape-independent
 /// checks only, by relax_shape's contract). Computed once per process per
 /// (op kind, device, structural shape class, domains) and shared read-only;
-/// nullptr when the op has no relax_shape hook or X̂ does not fit the index
-/// type. Ascending flat order is exactly odometer order, so consumers
-/// produce the same candidate sequences as a full sweep.
+/// nullptr when the op has no relax_shape hook or |X̂| exceeds the
+/// materialization bound. Ascending flat order is exactly odometer order, so
+/// consumers produce the same candidate sequences as a full sweep.
 template <typename Op>
-std::shared_ptr<const std::vector<std::uint32_t>> structural_skeleton(
+std::shared_ptr<const std::vector<std::uint64_t>> structural_skeleton(
     const SearchProblem<Op>& problem) {
   using Traits = typename SearchProblem<Op>::Traits;
   if constexpr (!requires { Traits::relax_shape(*problem.shape); }) {
@@ -146,14 +213,14 @@ std::shared_ptr<const std::vector<std::uint32_t>> structural_skeleton(
   } else {
     const auto& domains = problem.space->domains();
     const std::size_t total = problem.space->size();
-    if (total > std::numeric_limits<std::uint32_t>::max()) return nullptr;
+    if (total > kSkeletonMaxPoints) return nullptr;
 
     const typename Traits::Shape relaxed = Traits::relax_shape(*problem.shape);
     const std::string key = std::string(Traits::kind()) + '|' + problem.device->name + '|' +
                             device_limits_signature(*problem.device) + '|' +
                             Traits::shape_key(relaxed) + '|' + domains_signature(domains);
 
-    using Skeleton = std::shared_ptr<const std::vector<std::uint32_t>>;
+    using Skeleton = std::shared_ptr<const std::vector<std::uint64_t>>;
     static std::mutex mutex;
     static std::unordered_map<std::string, std::shared_future<Skeleton>> cache;
     // Single-flight *per key*: the first ranking of a class pays the one
@@ -176,33 +243,13 @@ std::shared_ptr<const std::vector<std::uint32_t>> structural_skeleton(
     }
     if (!builder) return fut.get();
 
-    auto skeleton = std::make_shared<std::vector<std::uint32_t>>();
+    auto skeleton = std::make_shared<std::vector<std::uint64_t>>();
     try {
-      // Parallel sweep over disjoint flat ranges; per-range results
-      // concatenate in range order, preserving the odometer order of a
-      // serial sweep.
-      const std::size_t chunk = 1 << 16;
-      const std::size_t chunks = (total + chunk - 1) / chunk;
-      std::vector<std::vector<std::uint32_t>> parts(chunks);
-      ThreadPool::global().parallel_for_each(chunks, [&](std::size_t ci) {
-        const std::size_t begin = ci * chunk;
-        const std::size_t end = std::min(total, begin + chunk);
-        Choice c;
-        choice_from_flat_into(begin, domains, c);
-        auto& part = parts[ci];
-        for (std::size_t flat = begin; flat < end; ++flat) {
-          if (Traits::validate(relaxed, problem.space->decode(c), *problem.device)) {
-            part.push_back(static_cast<std::uint32_t>(flat));
-          }
-          advance_choice(c, domains);
-        }
-      });
-      std::size_t n = 0;
-      for (const auto& part : parts) n += part.size();
-      skeleton->reserve(n);
-      for (const auto& part : parts) {
-        skeleton->insert(skeleton->end(), part.begin(), part.end());
-      }
+      // Constraint-propagating build: walk only the subtrees the relaxed
+      // shape's prefix predicates allow (the validate gate inside keeps the
+      // result exactly the generate-and-test survivor set, in the same
+      // ascending flat order).
+      *skeleton = build_skeleton_points(problem, relaxed);
     } catch (...) {
       // Un-publish the failed build so a later ranking can retry, and wake
       // any waiters with the error instead of leaving them hung.
@@ -269,7 +316,7 @@ RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
   // ---- enumerate the legal space ----------------------------------------
   if (const auto skeleton = detail::structural_skeleton(problem)) {
     // Only the structural survivors need a real legality check; the result
-    // (and its order) is identical to the full odometer sweep below, which
+    // (and its order) is identical to a full odometer sweep, which
     // conceptually still visited all of X̂ — keep the stats on that footing.
     out.visited = problem.space->size();
     const std::size_t chunk = 1 << 14;
@@ -293,14 +340,32 @@ RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
     }
     out.legal = out.candidates.size();
   } else {
-    Choice odometer(domains.size(), 0);
-    do {
-      ++out.visited;
-      if (problem.legal(odometer)) {
-        ++out.legal;
-        out.candidates.push_back(odometer);
-      }
-    } while (advance_choice(odometer, domains));
+    // No skeleton (op without relax_shape, or |X̂| past the materialization
+    // bound — including a saturated size()): rank through the lazy pruned
+    // walk, chunked for the pool without materializing index vectors. The
+    // per-point legality gate keeps the result exactly the legal space, and
+    // chunk concatenation preserves odometer order; the walk conceptually
+    // covers all of X̂, so the stats stay on the skeleton path's footing.
+    const tuning::ConstraintSet cs =
+        prefix_constraints_for<Op>(*problem.shape, *problem.device, *problem.space);
+    const tuning::ConstraintSet* csp = cs.empty() ? nullptr : &cs;
+    const WalkChunkPlan plan = plan_legal_walk(domains, csp);
+    std::vector<std::vector<Choice>> parts(plan.prefixes.size());
+    ThreadPool::global().parallel_for_each(plan.prefixes.size(), [&](std::size_t ci) {
+      auto& part = parts[ci];
+      run_walk_chunk(domains, csp, plan, ci, [&](const Choice& c, std::uint64_t) {
+        if (problem.legal(c)) part.push_back(c);
+        return true;
+      });
+    });
+    out.visited = problem.space->size();
+    std::size_t n = 0;
+    for (const auto& part : parts) n += part.size();
+    out.candidates.reserve(n);
+    for (auto& part : parts) {
+      std::move(part.begin(), part.end(), std::back_inserter(out.candidates));
+    }
+    out.legal = out.candidates.size();
   }
   if (out.candidates.empty()) return out;
 
@@ -343,16 +408,52 @@ RankedCandidates<Op> rank_strided_probe(const SearchProblem<Op>& problem,
   const std::size_t total = problem.space->size();
   const std::size_t cap =
       config.max_candidates > 0 ? std::min(config.max_candidates, total) : total;
+  const tuning::ConstraintSet cs =
+      prefix_constraints_for<Op>(*problem.shape, *problem.device, *problem.space);
 
   std::unordered_set<std::uint64_t> present;
-  const double step = static_cast<double>(total) / static_cast<double>(std::max<std::size_t>(cap, 1));
-  Choice c;
-  for (std::size_t i = 0; i < cap; ++i) {
-    choice_from_flat_into(static_cast<std::size_t>(i * step), domains, c);
-    ++out.visited;
-    if (!problem.legal(c)) continue;
-    ++out.legal;
-    if (present.insert(choice_hash(c)).second) out.candidates.push_back(c);
+  if (total == std::numeric_limits<std::size_t>::max()) {
+    // Saturated size(): no exact flat index exists to stride over. Probe the
+    // pruned walk instead — the first `cap` legal points in flat order.
+    // Still deterministic, and still bounded work: the walk skips illegal
+    // subtrees rather than striding across an X̂ it cannot even measure.
+    tuning::walk_legal(domains, cs.empty() ? nullptr : &cs,
+                       [&](const Choice& walked, std::uint64_t) {
+                         ++out.visited;
+                         if (!problem.legal(walked)) return true;
+                         ++out.legal;
+                         if (present.insert(choice_hash(walked)).second) {
+                           out.candidates.push_back(walked);
+                         }
+                         return out.candidates.size() < cap;
+                       });
+  } else {
+    // The stride arithmetic below is exact only because product_size
+    // saturates instead of wrapping (guarded above).
+    assert(total < std::numeric_limits<std::size_t>::max());
+    // Cheap necessary-condition pre-gate in front of the full validate.
+    // Predicates can only reject points validate would also reject, so the
+    // probed candidate set is bit-identical to the unfiltered probe's — the
+    // definite failures just skip the decode + validate.
+    std::vector<int> values(domains.size());
+    const auto plausible = [&](const Choice& probe) {
+      if (cs.empty()) return true;
+      for (std::size_t d = 0; d < domains.size(); ++d) {
+        values[d] = domains[d].values[probe[d]];
+      }
+      return cs.accepts(values.data());
+    };
+    const double step =
+        static_cast<double>(total) / static_cast<double>(std::max<std::size_t>(cap, 1));
+    Choice c;
+    for (std::size_t i = 0; i < cap; ++i) {
+      choice_from_flat_into(static_cast<std::size_t>(i * step), domains, c);
+      ++out.visited;
+      if (!plausible(c)) continue;
+      if (!problem.legal(c)) continue;
+      ++out.legal;
+      if (present.insert(choice_hash(c)).second) out.candidates.push_back(c);
+    }
   }
   detail::append_seed_grid(problem, out.candidates, present);
 

@@ -50,6 +50,33 @@ inline bool advance_choice(Choice& c, const std::vector<tuning::ParameterDomain>
   return false;
 }
 
+/// Strict "earlier in flat (odometer) order" over choice vectors of equal
+/// arity — dimension D-1 is most significant. Comparing index vectors instead
+/// of flat integers keeps the order exact even when |X̂| saturates size()
+/// (no 64-bit flat index exists to compare).
+inline bool choice_flat_less(const Choice& a, const Choice& b) {
+  for (std::size_t d = a.size(); d-- > 0;) {
+    if (a[d] != b[d]) return a[d] < b[d];
+  }
+  return false;
+}
+
+/// The op's prefix-constraint layer for a problem instance — empty when the
+/// traits don't declare the optional prefix_constraints hook (enumeration
+/// then degenerates to generate-and-test; exactly as correct, just slower).
+template <typename Op>
+tuning::ConstraintSet prefix_constraints_for(
+    const typename core::OperationTraits<Op>::Shape& shape,
+    const gpusim::DeviceDescriptor& dev,
+    const typename core::OperationTraits<Op>::SearchSpace& space) {
+  using Traits = core::OperationTraits<Op>;
+  if constexpr (requires { Traits::prefix_constraints(shape, dev, space); }) {
+    return Traits::prefix_constraints(shape, dev, space);
+  } else {
+    return {};
+  }
+}
+
 /// Everything a strategy may consult about the problem instance. Non-owning:
 /// the caller keeps shape/device/space/model alive for the search's duration.
 template <typename Op>
@@ -173,20 +200,52 @@ class SearchStrategy {
     return c;
   }
 
+  /// The op's prefix-constraint layer for this problem, built lazily on the
+  /// first repair scan (most runs never need one). Only the guaranteed-repair
+  /// paths consult it: the rejection samplers stay validate-checked and
+  /// distribution-identical, so RNG trajectories are unchanged — the scans
+  /// just stopped costing O(|X̂|).
+  const tuning::ConstraintSet& constraints() {
+    if (!constraints_built_) {
+      constraints_ =
+          prefix_constraints_for<Op>(*problem_.shape, *problem_.device, *problem_.space);
+      constraints_built_ = true;
+    }
+    return constraints_;
+  }
+
   /// Guaranteed legal-point finder for sparse legal spaces where rejection
-  /// sampling runs dry (legal fractions of 1e-4 and below exist): walk X̂
-  /// lexicographically from `start`, wrapping around, until a legal point
-  /// turns up. Returns nullopt only when the legal space is truly empty —
-  /// the old exhaustive path's guarantee, restored as a fallback.
+  /// sampling runs dry (legal fractions of 1e-4 and below exist): the first
+  /// legal point at-or-after `start` in flat (odometer) order, wrapping
+  /// around to the first legal point overall — the same answer the old
+  /// point-by-point scan gave, now found through the constraint-propagating
+  /// pruned walk so the cost scales with the plausible space, not |X̂|.
+  /// Visited stats account covered subtrees in bulk (a fruitless full wrap
+  /// still counts all of |X̂|, matching the scan it replaced). Returns
+  /// nullopt only when the legal space is truly empty.
   std::optional<Choice> scan_for_legal(Choice start) {
     const auto& domains = problem_.space->domains();
     if (start.size() != domains.size()) start.assign(domains.size(), 0);
-    Choice c = start;
-    do {
-      if (check(c)) return c;
-      if (!advance_choice(c, domains)) c.assign(domains.size(), 0);  // wrap
-    } while (c != start);
-    return std::nullopt;
+    const tuning::ConstraintSet& cs = constraints();
+    std::optional<Choice> found;  // first legal at-or-after start
+    std::optional<Choice> wrap;   // first legal overall (the wrap-around answer)
+    tuning::WalkStats ws;
+    tuning::walk_legal(
+        domains, cs.empty() ? nullptr : &cs,
+        [&](const Choice& c, std::uint64_t) {
+          if (choice_flat_less(c, start)) {
+            if (!wrap && problem_.legal(c)) wrap = c;
+            return true;  // keep walking: a hit at-or-after start still wins
+          }
+          if (!problem_.legal(c)) return true;
+          found = c;
+          return false;  // ascending walk: first hit at-or-after start
+        },
+        &ws);
+    stats_.visited += static_cast<std::size_t>(ws.emitted + ws.pruned);
+    if (!found && !wrap) return std::nullopt;
+    ++stats_.legal;
+    return found ? found : wrap;
   }
 
   SearchProblem<Op> problem_;
@@ -196,6 +255,8 @@ class SearchStrategy {
 
  private:
   std::size_t effective_budget_ = 0;  // 0 = not told yet, fall back to config
+  tuning::ConstraintSet constraints_;
+  bool constraints_built_ = false;
 };
 
 }  // namespace isaac::search

@@ -55,6 +55,25 @@ const std::vector<codegen::ConvShape>& conv_grid() {
   return grid;
 }
 
+codegen::BatchedGemmShape batched_shape(std::int64_t batch, std::int64_t m, std::int64_t n,
+                                        std::int64_t k) {
+  codegen::BatchedGemmShape s;
+  s.batch = batch;
+  s.gemm = gemm_shape(m, n, k);
+  return s;
+}
+
+/// Attention/RNN-style batched products for the ranking parity grid.
+const std::vector<codegen::BatchedGemmShape>& batched_grid() {
+  static const std::vector<codegen::BatchedGemmShape> grid = {
+      batched_shape(16, 512, 64, 512),
+      batched_shape(32, 128, 128, 128),
+      batched_shape(8, 896, 896, 896),
+      batched_shape(64, 64, 64, 1024),
+  };
+  return grid;
+}
+
 /// One trained model shared by every test in this binary (training dominates
 /// the suite's runtime). Trained like a production deployment would be: the
 /// paper's generic collection, augmented with samples at the workload's own
@@ -527,14 +546,16 @@ search::RankedCandidates<Op> reference_rank(const search::SearchProblem<Op>& pro
 }
 
 TEST(RankLegalSpace, OrderingUnchangedByAllocationFreeRewrite) {
-  // Acceptance criterion for the scoring-pipeline rewrite: over the same
-  // 16-shape GEMM/conv grid the agreement test uses, the skeleton-backed,
-  // FeatureBatch-scored rank_legal_space must reproduce the pre-rewrite
-  // pipeline bit-for-bit — same candidate sequences, same scores, same
-  // best-first order, same X̂ accounting.
+  // Acceptance criterion for both the scoring-pipeline rewrite and the
+  // constraint-propagating enumeration: over the agreement test's shape grid
+  // plus a batched-GEMM panel (20 shapes across all three op classes), the
+  // skeleton-backed, pruned-walk, FeatureBatch-scored rank_legal_space must
+  // reproduce the generate-and-test pipeline bit-for-bit — same candidate
+  // sequences, same scores, same best-first order, same X̂ accounting.
   const gpusim::DeviceDescriptor& dev = gpusim::tesla_p100();
   const tuning::GemmSearchSpace gemm_space;
   const tuning::ConvSearchSpace conv_space;
+  const tuning::BatchedGemmSearchSpace batched_space;
   constexpr std::size_t kTopK = 64;
 
   const auto compare = [&](auto op_tag, const auto& space, const auto& shape) {
@@ -560,6 +581,165 @@ TEST(RankLegalSpace, OrderingUnchangedByAllocationFreeRewrite) {
 
   for (const auto& shape : gemm_grid()) compare(core::GemmOp{}, gemm_space, shape);
   for (const auto& shape : conv_grid()) compare(core::ConvOp{}, conv_space, shape);
+  for (const auto& shape : batched_grid()) {
+    compare(core::BatchedGemmOp{}, batched_space, shape);
+  }
+}
+
+// --------------------------------------- constraint-propagating walk ----
+
+TEST(PrunedWalk, ForEachLegalMatchesGenerateAndTest) {
+  // Space-level tentpole invariant: for_each_legal must visit exactly the
+  // points the generate-and-test sweep (for_each + validate) keeps, in
+  // exactly for_each order — including a shape whose legal space is empty.
+  const gpusim::DeviceDescriptor& dev = gpusim::tesla_p100();
+  const SeedCoreGemmSpace seed_gemm;
+  const SeedCoreConvSpace seed_conv;
+
+  auto gemm_shapes = gemm_grid();
+  gemm_shapes.push_back(gemm_shape(64, 64, 2));  // empty legal space
+  for (const auto& shape : gemm_shapes) {
+    std::vector<codegen::GemmTuning> sweep, pruned;
+    seed_gemm.for_each([&](const codegen::GemmTuning& t) {
+      if (codegen::validate(shape, t, dev)) sweep.push_back(t);
+      return true;
+    });
+    seed_gemm.for_each_legal(shape, dev, [&](const codegen::GemmTuning& t) {
+      pruned.push_back(t);
+      return true;
+    });
+    EXPECT_EQ(pruned, sweep) << shape.to_string();
+  }
+
+  // One full-space GEMM shape: the production domains, ~20M points swept.
+  {
+    const tuning::GemmSearchSpace full;
+    const auto shape = gemm_shape(2560, 32, 2560);
+    std::vector<codegen::GemmTuning> sweep, pruned;
+    full.for_each([&](const codegen::GemmTuning& t) {
+      if (codegen::validate(shape, t, dev)) sweep.push_back(t);
+      return true;
+    });
+    full.for_each_legal(shape, dev, [&](const codegen::GemmTuning& t) {
+      pruned.push_back(t);
+      return true;
+    });
+    EXPECT_EQ(pruned, sweep) << shape.to_string();
+    EXPECT_FALSE(pruned.empty());
+  }
+
+  for (const auto& shape : conv_grid()) {
+    std::vector<codegen::ConvTuning> sweep, pruned;
+    seed_conv.for_each([&](const codegen::ConvTuning& t) {
+      if (codegen::validate(shape, t, dev)) sweep.push_back(t);
+      return true;
+    });
+    seed_conv.for_each_legal(shape, dev, [&](const codegen::ConvTuning& t) {
+      pruned.push_back(t);
+      return true;
+    });
+    EXPECT_EQ(pruned, sweep) << shape.to_string();
+  }
+}
+
+TEST(PrunedWalk, SkeletonKeyIsolatedAcrossDeviceLimits) {
+  // Two descriptors sharing a name but differing in a legality-relevant
+  // limit must never share a structural skeleton: each device's ranking has
+  // to agree with a reference sweep performed against that same device.
+  const gpusim::DeviceDescriptor small = [] {
+    gpusim::DeviceDescriptor d = gpusim::tesla_p100();
+    d.smem_per_block_bytes /= 4;
+    d.smem_per_sm_bytes /= 4;
+    return d;
+  }();
+  const gpusim::DeviceDescriptor full = gpusim::tesla_p100();
+
+  const tuning::GemmSearchSpace space;  // production domains → the real cache
+  const auto shape = gemm_shape(512, 512, 512);
+  search::SearchConfig cfg;
+  cfg.max_candidates = 20000;
+
+  std::vector<std::size_t> legal_counts;
+  for (const gpusim::DeviceDescriptor* dev : {&full, &small}) {
+    search::SearchProblem<core::GemmOp> problem;
+    problem.shape = &shape;
+    problem.device = dev;
+    problem.space = &space;
+    problem.model = &shared_model();
+    const auto fast = search::rank_legal_space(problem, cfg, 64);
+    const auto truth = reference_rank(problem, cfg, 64);
+    ASSERT_EQ(fast.candidates, truth.candidates) << dev->smem_per_block_bytes;
+    ASSERT_EQ(fast.order, truth.order) << dev->smem_per_block_bytes;
+    EXPECT_EQ(fast.legal, truth.legal);
+    legal_counts.push_back(fast.legal);
+  }
+  // The cut-down device must actually lose candidates — otherwise this test
+  // could pass with the two devices silently sharing one skeleton.
+  ASSERT_EQ(legal_counts.size(), 2u);
+  EXPECT_LT(legal_counts[1], legal_counts[0]);
+}
+
+/// A GEMM space inflated past 2^32 points with junk values that can never be
+/// legal for a modest shape (KG far beyond K, NL blowing out shared memory).
+/// Every flat index above 2^32 would have wrapped the old 32-bit skeleton
+/// indices; the space must instead take the lazy pruned-walk ranking path.
+struct OversizedGemmSpace : tuning::GemmSearchSpace {
+  OversizedGemmSpace() {
+    for (auto& d : domains_) {
+      if (d.name == "kg") d.values.insert(d.values.end(), 2048, 1 << 20);
+      if (d.name == "nl") d.values.insert(d.values.end(), 64, 1 << 20);
+    }
+  }
+};
+
+TEST(PrunedWalk, OversizedSpaceRanksThroughLazyWalk) {
+  const gpusim::DeviceDescriptor& dev = gpusim::tesla_p100();
+  const tuning::GemmSearchSpace clean;
+  const OversizedGemmSpace oversized;
+  ASSERT_GT(oversized.size(), std::numeric_limits<std::uint32_t>::max());
+  ASSERT_LT(oversized.size(), std::numeric_limits<std::size_t>::max());  // exact, not saturated
+
+  const auto shape = gemm_shape(2560, 32, 2560);
+  search::SearchConfig cfg;
+  cfg.max_candidates = 20000;
+  const auto rank = [&](const tuning::GemmSearchSpace& space) {
+    search::SearchProblem<core::GemmOp> problem;
+    problem.shape = &shape;
+    problem.device = &dev;
+    problem.space = &space;
+    problem.model = &shared_model();
+    return search::rank_legal_space(problem, cfg, 64);
+  };
+  const auto a = rank(clean);
+  const auto b = rank(oversized);
+
+  // The junk values are all illegal, so the decoded candidate sequences,
+  // scores and orderings must match the clean space exactly — and the
+  // oversized ranking must account the whole inflated X̂ as visited.
+  EXPECT_EQ(b.visited, oversized.size());
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    ASSERT_EQ(clean.decode(a.candidates[i]), oversized.decode(b.candidates[i])) << i;
+  }
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.scores[i], b.scores[i]) << i;
+  }
+  ASSERT_EQ(a.order, b.order);
+}
+
+TEST(SearchSpaceSize, SaturatesInsteadOfWrapping) {
+  // |X̂| beyond 2^64 must clamp to the SIZE_MAX sentinel, not silently wrap.
+  struct HugeSpace : tuning::GemmSearchSpace {
+    HugeSpace() {
+      for (auto& d : domains_) d.values.assign(512, 2);  // 512^9 = 2^81
+    }
+  };
+  EXPECT_EQ(HugeSpace().size(), std::numeric_limits<std::size_t>::max());
+  // Ordinary spaces stay exact.
+  EXPECT_LT(tuning::GemmSearchSpace().size(), std::numeric_limits<std::size_t>::max());
+  EXPECT_LT(tuning::ConvSearchSpace().size(), std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(SeedCoreGemmSpace().size(), 144u);  // 2·2·2·3·1·1·2·3·1
 }
 
 TEST(RankStridedProbe, ReusableOdometerKeepsProbeDeterministic) {
