@@ -46,6 +46,7 @@
 #include "mlp/regressor.hpp"
 #include "search/factory.hpp"
 #include "search/model_topk.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tuning/collector.hpp"
 #include "tuning/dataset.hpp"
 #include "tuning/feature_batch.hpp"
@@ -296,17 +297,19 @@ int run_dispatch_latency() {
   const auto emit = [&](const char* mode, const std::vector<double>& us) {
     std::printf(
         "{\"bench\":\"dispatch_latency\",\"op\":\"gemm\",\"mode\":\"%s\","
-        "\"cold_shapes\":%zu,\"p50_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f}\n",
+        "\"cold_shapes\":%zu,\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,"
+        "\"max_us\":%.1f}\n",
         mode, us.size(), stats::percentile(us, 0.50), stats::percentile(us, 0.99),
-        *std::max_element(us.begin(), us.end()));
+        stats::percentile(us, 0.999), *std::max_element(us.begin(), us.end()));
   };
   emit("two_tier", fast_us);
   emit("blocking", blocking_us);
   std::printf(
       "{\"bench\":\"dispatch_latency\",\"op\":\"gemm\",\"mode\":\"summary\","
-      "\"p99_speedup\":%.1f,\"refined_agreement\":%.3f,\"predictions\":%zu,"
-      "\"refinements\":%zu}\n",
+      "\"p99_speedup\":%.1f,\"p999_speedup\":%.1f,\"refined_agreement\":%.3f,"
+      "\"predictions\":%zu,\"refinements\":%zu}\n",
       stats::percentile(blocking_us, 0.99) / stats::percentile(fast_us, 0.99),
+      stats::percentile(blocking_us, 0.999) / stats::percentile(fast_us, 0.999),
       static_cast<double>(agree) / static_cast<double>(shapes.size()), fast.predictions(),
       fast.refinements());
   std::fflush(stdout);
@@ -705,14 +708,43 @@ int run_search_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --telemetry_dump[=path]: enable metrics + tracing before the selected
+  // mode runs and write the JSON snapshot afterwards. Default target
+  // telemetry.json; "stderr" writes to stderr. Never stdout — the modes own
+  // stdout for their machine-readable BENCH lines.
+  std::string telemetry_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--search_sweep") return run_search_sweep();
-    if (std::string(argv[i]) == "--dispatch_latency") return run_dispatch_latency();
-    if (std::string(argv[i]) == "--rank_throughput") return run_rank_throughput();
+    const std::string arg = argv[i];
+    constexpr const char* kFlag = "--telemetry_dump";
+    if (arg == kFlag) {
+      telemetry_path = "telemetry.json";
+    } else if (arg.rfind(std::string(kFlag) + "=", 0) == 0) {
+      telemetry_path = arg.substr(std::string(kFlag).size() + 1);
+      if (telemetry_path.empty()) telemetry_path = "telemetry.json";
+    } else {
+      args.push_back(argv[i]);
+    }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!telemetry_path.empty()) {
+    isaac::telemetry::set_enabled(true);
+    isaac::telemetry::set_tracing(true);
+  }
+  const auto finish = [&](int rc) {
+    if (!telemetry_path.empty() && !isaac::telemetry::dump_to_file(telemetry_path)) return 1;
+    return rc;
+  };
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::string(args[i]) == "--search_sweep") return finish(run_search_sweep());
+    if (std::string(args[i]) == "--dispatch_latency") return finish(run_dispatch_latency());
+    if (std::string(args[i]) == "--rank_throughput") return finish(run_rank_throughput());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return finish(0);
 }

@@ -28,17 +28,27 @@ const char* tag(Level lvl) {
   }
 }
 
-// Honor ISAAC_LOG on first use so benches/tests can be made chatty without
-// code changes.
+// Honor ISAAC_LOG once, at library initialization (the namespace-scope
+// initializer below) — not only when a bench opts in or a first message is
+// emitted — so examples and tests get the env-configured verbosity from
+// their very first statement. threshold() keeps a lazy re-check for callers
+// that log before this TU's static initializers have run.
 struct EnvInit {
-  EnvInit() {
+  EnvInit() { init_from_env(); }
+};
+
+const EnvInit g_env_init_at_load;
+
+}  // namespace
+
+void init_from_env() noexcept {
+  static std::once_flag once;
+  std::call_once(once, [] {
     if (const char* env = std::getenv("ISAAC_LOG")) {
       set_threshold_from_string(env);
     }
-  }
-};
-
-}  // namespace
+  });
+}
 
 Level threshold() noexcept {
   static EnvInit init;

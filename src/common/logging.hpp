@@ -21,6 +21,12 @@ void set_threshold(Level lvl) noexcept;
 /// Unknown strings leave the threshold unchanged and return false.
 bool set_threshold_from_string(const std::string& name) noexcept;
 
+/// Apply ISAAC_LOG from the environment (idempotent). This runs once at
+/// library initialization (a static initializer in logging.cpp) and again
+/// from Context's constructor, so examples and tests honor ISAAC_LOG without
+/// opting in; exposed for anything that needs to force it earlier.
+void init_from_env() noexcept;
+
 /// Emit one line to stderr with a level tag. Thread-safe.
 void write(Level lvl, const std::string& msg);
 

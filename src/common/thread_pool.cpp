@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace isaac {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -28,16 +31,23 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::uint64_t enqueue_us = 0;
+  if (telemetry::enabled()) {
+    ISAAC_TM_COUNT("pool.submitted");
+    static telemetry::Gauge& g_size = telemetry::gauge("pool.size");
+    g_size.set(static_cast<std::int64_t>(size()));
+    enqueue_us = telemetry::now_us();
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), enqueue_us});
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -45,7 +55,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (task.enqueue_us) {
+      ISAAC_TM_RECORD("pool.queue_delay_us", telemetry::now_us() - task.enqueue_us);
+    }
+    task.fn();
   }
 }
 
@@ -98,6 +111,7 @@ struct ParallelForState {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  ISAAC_TM_COUNT("pool.parallel_for");
   // Oversubscribe chunks 4x so uneven work (e.g. predicated edge blocks in the
   // functional executors) balances across workers.
   const std::size_t want_chunks = std::max<std::size_t>(1, size() * 4);

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -47,8 +48,16 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// The enqueue timestamp rides in the queue entry (0 = telemetry off at
+  /// submit time) so the queue-delay histogram needs no wrapping closure —
+  /// the enabled path costs two clock reads, never an extra allocation.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_us = 0;
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "search/driver.hpp"
 #include "search/factory.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace isaac::core {
 
@@ -42,6 +43,9 @@ TuneResult<typename OperationTraits<Op>::Tuning> tune(
   using Traits = OperationTraits<Op>;
   using Tuning = typename Traits::Tuning;
 
+  telemetry::Span span("tune");
+  ISAAC_TM_COUNT("search.tune_runs");
+  const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_us() : 0;
   const search::SearchConfig resolved = resolve_config<Op>(config);
   const auto& dev = sim.device();
   const typename Traits::SearchSpace space;
@@ -109,6 +113,7 @@ TuneResult<typename OperationTraits<Op>::Tuning> tune(
   std::sort(result.top.begin(), result.top.end(), better);
   if (result.top.size() > resolved.keep_top) result.top.resize(resolved.keep_top);
   result.best = result.top.front();
+  if (t0) ISAAC_TM_RECORD("search.tune_us", telemetry::now_us() - t0);
 
   ISAAC_LOG_INFO() << "tuned " << Traits::kind() << " [" << resolved.strategy << ", budget "
                    << resolved.budget << "]: " << result.measured << " measured, "
@@ -129,6 +134,9 @@ PredictResult<typename OperationTraits<Op>::Tuning> predict(
     const gpusim::DeviceDescriptor& device, const search::SearchConfig& config) {
   using Traits = OperationTraits<Op>;
 
+  telemetry::Span span("predict");
+  ISAAC_TM_COUNT("dispatch.predict");
+  const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_us() : 0;
   search::SearchConfig resolved = resolve_config<Op>(config);
   // Ops that rank densely resolve max_candidates to 0, which would make the
   // probe sweep all of X̂ — the blocking path's fixed cost. Tier-1 latency
@@ -149,6 +157,7 @@ PredictResult<typename OperationTraits<Op>::Tuning> predict(
     // still zero measurements — before giving up.
     ranked = search::rank_legal_space(problem, resolved, /*top_k=*/1);
     result.dense_fallback = true;
+    ISAAC_TM_COUNT("dispatch.predict_dense_fallback");
   }
   result.enumerated = ranked.visited;
   result.legal = ranked.legal;
@@ -160,6 +169,7 @@ PredictResult<typename OperationTraits<Op>::Tuning> predict(
   const std::size_t i = ranked.order.front();
   result.tuning = space.decode(ranked.candidates[i]);
   result.predicted_gflops = ranked.scores[i];
+  if (t0) ISAAC_TM_RECORD("dispatch.predict_us", telemetry::now_us() - t0);
   return result;
 }
 

@@ -6,12 +6,32 @@
 
 namespace isaac::core {
 
+namespace {
+
+/// Runs the env wiring (ISAAC_LOG, ISAAC_TELEMETRY*) before any Context
+/// member — notably the profile cache, whose load/compaction should already
+/// be observable — constructs. Threaded through the first member initializer
+/// so the ordering is structural, not incidental.
+const gpusim::DeviceDescriptor& with_env_init(const gpusim::DeviceDescriptor& device) {
+  log::init_from_env();
+  telemetry::init_from_env();
+  return device;
+}
+
+}  // namespace
+
 Context::Context(const gpusim::DeviceDescriptor& device, ContextOptions options)
-    : sim_(device, options.noise_sigma, options.seed),
+    : sim_(with_env_init(device), options.noise_sigma, options.seed),
       options_(std::move(options)),
       cache_(options_.cache_dir) {}
 
-Context::~Context() { drain_background(); }
+Context::~Context() {
+  drain_background();
+  // ISAAC_TELEMETRY=<path> asks for an end-of-life dump: rewrite the target
+  // with the full registry + span state. Multiple Contexts each rewrite; the
+  // registry is process-wide, so the last writer holds the complete picture.
+  telemetry::dump_configured();
+}
 
 void Context::drain_background() {
   std::unique_lock<std::mutex> lock(background_mutex_);

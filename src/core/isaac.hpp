@@ -43,6 +43,7 @@
 #include "core/profile_cache.hpp"
 #include "gpusim/simulator.hpp"
 #include "mlp/regressor.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tuning/collector.hpp"
 
 namespace isaac::core {
@@ -247,9 +248,23 @@ class Context {
 template <typename Op>
 typename OperationTraits<Op>::Tuning Context::select(
     const typename OperationTraits<Op>::Shape& shape, bool* from_cache, EntryTier* tier) {
+  // Dispatch-lifecycle telemetry: one root span per select() with the
+  // leader's predict/tune (and any background refinement it enqueues) linked
+  // underneath, plus the latency histogram the serving benches report from.
+  telemetry::Span select_span("dispatch.select");
+  ISAAC_TM_COUNT("dispatch.select");
+  struct LatencyProbe {
+    std::uint64_t begin_us;
+    LatencyProbe() : begin_us(telemetry::enabled() ? telemetry::now_us() : 0) {}
+    ~LatencyProbe() {
+      if (begin_us) ISAAC_TM_RECORD("dispatch.select_us", telemetry::now_us() - begin_us);
+    }
+  } latency_probe;
+
   const std::string& dev = device().name;
   EntryTier hit_tier = EntryTier::refined;
   if (const auto cached = cache_.lookup<Op>(dev, shape, &hit_tier)) {
+    ISAAC_TM_COUNT("dispatch.hit");
     if (hit_tier == EntryTier::provisional) {
       // Normally a no-op (the leader already owns the refinement); this
       // re-arms refinement for provisional entries loaded from disk, whose
@@ -271,6 +286,7 @@ typename OperationTraits<Op>::Tuning Context::select(
       // Re-check under the lock: a leader stores to cache before erasing its
       // flight, so a miss here plus an absent flight really means cold.
       if (const auto cached = cache_.lookup<Op>(dev, shape, &hit_tier)) {
+        ISAAC_TM_COUNT("dispatch.hit_coalesced");
         if (from_cache) *from_cache = true;
         if (tier) *tier = hit_tier;
         return *cached;
@@ -292,6 +308,8 @@ typename OperationTraits<Op>::Tuning Context::select(
       try {
         if (options_.two_tier && has_model()) {
           // Tier 1: the model's argmax, zero measurements on this thread.
+          telemetry::Span predict_span("select.predict");
+          ISAAC_TM_COUNT("dispatch.leader_predict");
           const auto pred = core::predict<Op>(shape, model(), sim_.device(), options_.search);
           cache_.store<Op>(dev, shape, pred.tuning,
                            ProfileCache::provenance("predict", 0, EntryTier::provisional));
@@ -300,6 +318,8 @@ typename OperationTraits<Op>::Tuning Context::select(
           winner_tier = EntryTier::provisional;
           maybe_refine<Op>(key, shape);
         } else {
+          telemetry::Span tune_span("select.tune");
+          ISAAC_TM_COUNT("dispatch.leader_tune");
           const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
           // Provenance records the evaluations actually spent (≤ the
           // requested budget): truthful even for "unlimited" sweeps.
@@ -324,7 +344,13 @@ typename OperationTraits<Op>::Tuning Context::select(
       return *winner;
     }
 
-    flight.get();  // rethrows the leader's tuning failure
+    {
+      // Followers of the single flight wait here for ranking time (tier 1)
+      // or search time (blocking) — span it so coalescing shows up in traces.
+      telemetry::Span wait_span("select.wait");
+      ISAAC_TM_COUNT("dispatch.follower_wait");
+      flight.get();  // rethrows the leader's tuning failure
+    }
     // The leader stored the result before completing the flight; loop back to
     // pick it up from the cache (it can only be a hit now).
   }
@@ -342,21 +368,48 @@ void Context::maybe_refine(const std::string& key,
     std::lock_guard<std::mutex> lock(background_mutex_);
     ++background_pending_;
   }
-  ThreadPool::global().submit([this, key, shape] {
+  ISAAC_TM_COUNT("refine.enqueued");
+  // Cross-thread span linkage: the refinement runs on a pool worker, so the
+  // enqueuing dispatch's span id travels explicitly and the queue delay is
+  // measured from here to the task's first instruction.
+  const std::uint64_t parent_span = telemetry::current_span();
+  const std::uint64_t enqueue_us =
+      (telemetry::enabled() || telemetry::tracing()) ? telemetry::now_us() : 0;
+  ThreadPool::global().submit([this, key, shape, parent_span, enqueue_us] {
+    const std::uint64_t begin_us = enqueue_us ? telemetry::now_us() : 0;
+    if (begin_us) {
+      ISAAC_TM_RECORD("refine.queue_us", begin_us - enqueue_us);
+      telemetry::record_span("refine.queue", parent_span, enqueue_us, begin_us);
+    }
     bool upgraded = false;
-    try {
-      const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
-      upgraded = cache_.upgrade<Op>(device().name, shape, result.best.tuning,
-                                    ProfileCache::provenance(result.strategy, result.measured,
-                                                             EntryTier::refined));
-      tuning_runs_.fetch_add(1, std::memory_order_relaxed);
-      if (upgraded) refinements_.fetch_add(1, std::memory_order_relaxed);
-    } catch (const std::exception& e) {
-      // The provisional prediction stays live and functional; a later hit on
-      // it may retry (the erase below re-arms the gate).
-      ISAAC_LOG_WARN() << "background refinement failed for " << key << ": " << e.what();
-    } catch (...) {
-      ISAAC_LOG_WARN() << "background refinement failed for " << key;
+    {
+      // Scoped so the span record lands in the ring *before* the completion
+      // notification below: drain_background() returning must imply the
+      // refinement's spans are observable in a snapshot.
+      telemetry::Span run_span("refine.run", parent_span);
+      try {
+        const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
+        upgraded = cache_.upgrade<Op>(device().name, shape, result.best.tuning,
+                                      ProfileCache::provenance(result.strategy,
+                                                               result.measured,
+                                                               EntryTier::refined));
+        tuning_runs_.fetch_add(1, std::memory_order_relaxed);
+        if (upgraded) {
+          refinements_.fetch_add(1, std::memory_order_relaxed);
+          ISAAC_TM_COUNT("refine.upgraded");
+        } else {
+          ISAAC_TM_COUNT("refine.rejected");
+        }
+      } catch (const std::exception& e) {
+        ISAAC_TM_COUNT("refine.failed");
+        // The provisional prediction stays live and functional; a later hit on
+        // it may retry (the erase below re-arms the gate).
+        ISAAC_LOG_WARN() << "background refinement failed for " << key << ": " << e.what();
+      } catch (...) {
+        ISAAC_TM_COUNT("refine.failed");
+        ISAAC_LOG_WARN() << "background refinement failed for " << key;
+      }
+      if (begin_us) ISAAC_TM_RECORD("refine.run_us", telemetry::now_us() - begin_us);
     }
     if (!upgraded) {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -388,6 +441,7 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
     return future;
   }
   state->remaining.store(shapes.size());
+  ISAAC_TM_COUNT_N("warmup.shapes", shapes.size());
   {
     std::lock_guard<std::mutex> lock(background_mutex_);
     background_pending_ += shapes.size();

@@ -121,6 +121,8 @@ void ProfileCache::load_from_disk() {
   // few head lines actually clobbered, and a truncate failure merely leaves
   // a stale tail that last-wins parsing already resolves.
   if (locked && read_ok && lines > 2 * live.size() && !live.empty()) {
+    telemetry::Span span("cache.compact");
+    ISAAC_TM_COUNT("cache.compaction");
     std::string compacted;
     for (const auto& [key, entry] : live) {
       compacted += format_line(key, entry.encoded, entry.meta);
@@ -159,6 +161,7 @@ void ProfileCache::load_from_disk() {
   for (auto& [key, entry] : live) {
     shard_for(key).entries.emplace(key, std::move(entry));
   }
+  ISAAC_TM_COUNT_N("cache.loaded_entries", live.size());
   ISAAC_LOG_INFO() << "profile cache: loaded " << live.size() << " entries from "
                    << file.string();
 }

@@ -29,6 +29,8 @@
 
 #include <any>
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -37,6 +39,8 @@
 #include <string>
 
 #include "core/operation.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace isaac::core {
 
@@ -44,6 +48,18 @@ namespace isaac::core {
 /// argmax (tier-1 dispatch), pending background refinement; `refined` = a
 /// full search's winner.
 enum class EntryTier { provisional, refined };
+
+/// Aggregated cache accounting (see ProfileCache::stats()). Relaxed-snapshot
+/// semantics: totals are exact once writers quiesce; mid-traffic reads may
+/// miss in-flight increments but never lose them.
+struct CacheStats {
+  std::uint64_t hits = 0;              // lookups that found the key
+  std::uint64_t provisional_hits = 0;  // subset of hits serving a tier-1 entry
+  std::uint64_t misses = 0;            // lookups that found nothing
+  std::uint64_t stores = 0;            // unconditional store() calls
+  std::uint64_t upgrades = 0;          // upgrade() calls that replaced the entry
+  std::uint64_t upgrade_rejects = 0;   // upgrade() calls refused (already refined)
+};
 
 class ProfileCache {
  public:
@@ -64,7 +80,17 @@ class ProfileCache {
     {
       std::shared_lock lock(shard.mutex);
       const auto it = shard.entries.find(k);
-      if (it == shard.entries.end()) return std::nullopt;
+      if (it == shard.entries.end()) {
+        shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
+        ISAAC_TM_COUNT("cache.miss");
+        return std::nullopt;
+      }
+      shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
+      ISAAC_TM_COUNT("cache.hit");
+      if (it->second.tier == EntryTier::provisional) {
+        shard.stats.provisional_hits.fetch_add(1, std::memory_order_relaxed);
+        ISAAC_TM_COUNT("cache.hit_provisional");
+      }
       if (tier) *tier = it->second.tier;
       // Hot path: entries decoded before (every store, or a prior lookup of a
       // disk-loaded entry) return without touching the textual codec.
@@ -99,6 +125,8 @@ class ProfileCache {
     // key (same key -> same shard).
     const EntryTier entry_tier = tier_from_meta(meta);
     std::unique_lock lock(shard.mutex);
+    shard.stats.stores.fetch_add(1, std::memory_order_relaxed);
+    ISAAC_TM_COUNT("cache.store");
     append_to_disk(k, value, meta);
     shard.entries[k] = Entry{value, std::move(meta), entry_tier, tuning};
   }
@@ -114,9 +142,16 @@ class ProfileCache {
     const std::string value = OperationTraits<Op>::encode_tuning(tuning);
     Shard& shard = shard_for(k);
     const EntryTier entry_tier = tier_from_meta(meta);
+    telemetry::Span span("cache.upgrade");
     std::unique_lock lock(shard.mutex);
     const auto it = shard.entries.find(k);
-    if (it != shard.entries.end() && it->second.tier == EntryTier::refined) return false;
+    if (it != shard.entries.end() && it->second.tier == EntryTier::refined) {
+      shard.stats.upgrade_rejects.fetch_add(1, std::memory_order_relaxed);
+      ISAAC_TM_COUNT("cache.upgrade_reject");
+      return false;
+    }
+    shard.stats.upgrades.fetch_add(1, std::memory_order_relaxed);
+    ISAAC_TM_COUNT("cache.upgrade");
     append_to_disk(k, value, meta);
     shard.entries[k] = Entry{value, std::move(meta), entry_tier, tuning};
     return true;
@@ -152,6 +187,25 @@ class ProfileCache {
     for (const auto& shard : shards_) {
       std::shared_lock lock(shard.mutex);
       total += shard.entries.size();
+    }
+    return total;
+  }
+
+  /// Aggregate the per-shard counters into one coherent view. Each shard owns
+  /// one atomic stats struct updated under (or adjacent to) its own lock, so
+  /// 16-way-sharded traffic never contends on a shared stats cacheline;
+  /// aggregation happens here, at snapshot time.
+  CacheStats stats() const noexcept {
+    CacheStats total;
+    for (const auto& shard : shards_) {
+      total.hits += shard.stats.hits.load(std::memory_order_relaxed);
+      total.provisional_hits +=
+          shard.stats.provisional_hits.load(std::memory_order_relaxed);
+      total.misses += shard.stats.misses.load(std::memory_order_relaxed);
+      total.stores += shard.stats.stores.load(std::memory_order_relaxed);
+      total.upgrades += shard.stats.upgrades.load(std::memory_order_relaxed);
+      total.upgrade_rejects +=
+          shard.stats.upgrade_rejects.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -208,9 +262,20 @@ class ProfileCache {
   /// lock word. 16 shards comfortably cover the pool sizes the dispatch
   /// benches run at.
   static constexpr std::size_t kShards = 16;
+  /// One atomic struct per shard (cacheline-aligned so neighboring shards'
+  /// stats never false-share); aggregated by stats().
+  struct alignas(64) ShardStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> provisional_hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> upgrades{0};
+    std::atomic<std::uint64_t> upgrade_rejects{0};
+  };
   struct Shard {
     mutable std::shared_mutex mutex;
     std::map<std::string, Entry> entries;
+    mutable ShardStats stats;
   };
 
   Shard& shard_for(const std::string& key) const {

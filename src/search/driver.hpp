@@ -16,6 +16,8 @@
 
 #include "common/thread_pool.hpp"
 #include "search/strategy.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace isaac::search {
 
@@ -56,15 +58,31 @@ std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const Measur
   std::vector<double> scores;
   while (measured < target) {
     const std::size_t want = std::min<std::size_t>(kBatch, target - measured);
-    auto proposals = strategy.propose(want);
+    const std::uint64_t t_propose = telemetry::enabled() ? telemetry::now_us() : 0;
+    auto proposals = [&] {
+      telemetry::Span propose_span("search.propose");
+      return strategy.propose(want);
+    }();
+    if (t_propose) {
+      ISAAC_TM_RECORD("search.propose_us", telemetry::now_us() - t_propose);
+      ISAAC_TM_COUNT_N("search.proposed", proposals.size());
+    }
     if (proposals.empty()) break;
     if (proposals.size() > want) proposals.resize(want);  // never overspend
     scores.assign(proposals.size(), 0.0);
-    if (proposals.size() > 1) {
-      ThreadPool::global().parallel_for_each(
-          proposals.size(), [&](std::size_t i) { scores[i] = measure(proposals[i].tuning); });
-    } else {
-      scores[0] = measure(proposals[0].tuning);
+    const std::uint64_t t_measure = telemetry::enabled() ? telemetry::now_us() : 0;
+    {
+      telemetry::Span measure_span("search.measure");
+      if (proposals.size() > 1) {
+        ThreadPool::global().parallel_for_each(
+            proposals.size(), [&](std::size_t i) { scores[i] = measure(proposals[i].tuning); });
+      } else {
+        scores[0] = measure(proposals[0].tuning);
+      }
+    }
+    if (t_measure) {
+      ISAAC_TM_RECORD("search.measure_us", telemetry::now_us() - t_measure);
+      ISAAC_TM_COUNT_N("search.measured", proposals.size());
     }
     for (std::size_t i = 0; i < proposals.size(); ++i) {
       strategy.observe(proposals[i].choice, scores[i]);

@@ -54,6 +54,8 @@
 #include "common/thread_pool.hpp"
 #include "search/legal_walk.hpp"
 #include "search/random.hpp"  // choice_hash
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "tuning/feature_batch.hpp"
 
 namespace isaac::search {
@@ -159,6 +161,17 @@ std::vector<std::uint64_t> build_skeleton_points(
     const SearchProblem<Op>& problem,
     const typename SearchProblem<Op>::Traits::Shape& relaxed) {
   using Traits = typename SearchProblem<Op>::Traits;
+  telemetry::Span build_span("rank.skeleton_build");
+  ISAAC_TM_COUNT("rank.skeleton_builds");
+  // RAII rather than a record-before-return: the function has two exits
+  // (direct walk vs. pooled chunks) and both should feed the histogram.
+  struct BuildProbe {
+    std::uint64_t t0;
+    BuildProbe() : t0(telemetry::enabled() ? telemetry::now_us() : 0) {}
+    ~BuildProbe() {
+      if (t0) ISAAC_TM_RECORD("rank.skeleton_build_us", telemetry::now_us() - t0);
+    }
+  } build_probe;
   const auto& domains = problem.space->domains();
   const tuning::ConstraintSet cs =
       prefix_constraints_for<Op>(relaxed, *problem.device, *problem.space);
@@ -174,6 +187,7 @@ std::vector<std::uint64_t> build_skeleton_points(
       }
       return true;
     });
+    ISAAC_TM_COUNT_N("rank.skeleton_points", skeleton.size());
     return skeleton;
   }
   const WalkChunkPlan plan = plan_legal_walk(domains, csp);
@@ -194,6 +208,7 @@ std::vector<std::uint64_t> build_skeleton_points(
   for (const auto& part : parts) {
     skeleton.insert(skeleton.end(), part.begin(), part.end());
   }
+  ISAAC_TM_COUNT_N("rank.skeleton_points", skeleton.size());
   return skeleton;
 }
 
@@ -310,6 +325,8 @@ void score_and_order(const SearchProblem<Op>& problem, const SearchConfig& confi
 template <typename Op>
 RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
                                       const SearchConfig& config, std::size_t top_k) {
+  telemetry::Span span("rank.dense");
+  ISAAC_TM_COUNT("rank.dense");
   RankedCandidates<Op> out;
   const auto& domains = problem.space->domains();
 
@@ -403,6 +420,8 @@ RankedCandidates<Op> rank_legal_space(const SearchProblem<Op>& problem,
 template <typename Op>
 RankedCandidates<Op> rank_strided_probe(const SearchProblem<Op>& problem,
                                         const SearchConfig& config, std::size_t top_k) {
+  telemetry::Span span("rank.probe");
+  ISAAC_TM_COUNT("rank.probe");
   RankedCandidates<Op> out;
   const auto& domains = problem.space->domains();
   const std::size_t total = problem.space->size();

@@ -1,0 +1,137 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "telemetry/trace.hpp"
+
+namespace isaac::telemetry {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t thread_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace detail
+
+std::uint64_t Histogram::min() const noexcept {
+  if (count() == 0) return 0;
+  return min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::percentile(double q) const noexcept {
+  // Relaxed snapshot of the buckets; the total is recomputed from the
+  // snapshot itself so ranks stay internally consistent even while writers
+  // race.
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += counts[i];
+  }
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Order-statistic position q·(n−1), interpolated — mirrors stats::percentile.
+  const double pos = q * static_cast<double>(n - 1);
+  const auto rank_value = [&](std::uint64_t rank) {
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (rank < seen) return bucket_representative(i);
+    }
+    return bucket_representative(kBuckets - 1);
+  };
+  const auto lo = static_cast<std::uint64_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const double a = rank_value(lo);
+  if (frac == 0.0) return a;
+  const double b = rank_value(lo + 1);
+  return a + frac * (b - a);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// One map per instrument kind; unique_ptr values keep addresses stable
+/// across rehashes and for the process lifetime (entries are never erased).
+template <typename T>
+struct Family {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<T>, std::less<>> items;
+
+  T& get(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = items.find(name);
+    if (it == items.end()) {
+      it = items.emplace(std::string(name), std::make_unique<T>()).first;
+    }
+    return *it->second;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& [name, item] : items) fn(name, *item);
+  }
+};
+
+Family<Counter>& counters() {
+  static Family<Counter> f;
+  return f;
+}
+Family<Gauge>& gauges() {
+  static Family<Gauge> f;
+  return f;
+}
+Family<Histogram>& histograms() {
+  static Family<Histogram> f;
+  return f;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) { return counters().get(name); }
+Gauge& gauge(std::string_view name) { return gauges().get(name); }
+Histogram& histogram(std::string_view name) { return histograms().get(name); }
+
+namespace detail {
+
+// Snapshot hooks for telemetry.cpp (kept out of the public header).
+void visit_counters(const std::function<void(const std::string&, const Counter&)>& fn) {
+  counters().for_each(fn);
+}
+void visit_gauges(const std::function<void(const std::string&, const Gauge&)>& fn) {
+  gauges().for_each(fn);
+}
+void visit_histograms(const std::function<void(const std::string&, const Histogram&)>& fn) {
+  histograms().for_each(fn);
+}
+
+}  // namespace detail
+
+void reset_for_testing() {
+  counters().for_each([](const std::string&, Counter& c) { c.reset(); });
+  gauges().for_each([](const std::string&, Gauge& g) { g.reset(); });
+  histograms().for_each([](const std::string&, Histogram& h) { h.reset(); });
+  clear_trace();
+}
+
+}  // namespace isaac::telemetry

@@ -1,0 +1,319 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace isaac::telemetry {
+
+namespace detail {
+// Defined in metrics.cpp; kept out of the public header.
+void visit_counters(const std::function<void(const std::string&, const Counter&)>& fn);
+void visit_gauges(const std::function<void(const std::string&, const Gauge&)>& fn);
+void visit_histograms(const std::function<void(const std::string&, const Histogram&)>& fn);
+}  // namespace detail
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const HistogramSample* Snapshot::find_histogram(std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Snapshot snapshot(bool include_spans) {
+  Snapshot snap;
+  snap.uptime_us = now_us();
+  detail::visit_counters([&](const std::string& name, const Counter& c) {
+    snap.counters.push_back({name, c.value()});
+  });
+  detail::visit_gauges([&](const std::string& name, const Gauge& g) {
+    snap.gauges.push_back({name, g.value()});
+  });
+  detail::visit_histograms([&](const std::string& name, const Histogram& h) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    s.p50 = h.percentile(0.50);
+    s.p99 = h.percentile(0.99);
+    s.p999 = h.percentile(0.999);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (const std::uint64_t n = h.bucket_count(i)) {
+        s.buckets.emplace_back(Histogram::bucket_lower_bound(i), n);
+      }
+    }
+    snap.histograms.push_back(std::move(s));
+  });
+  // The family maps are ordered, so the vectors arrive name-sorted already;
+  // keep the invariant explicit for future storage changes.
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  if (include_spans) snap.spans = trace_spans(&snap.spans_dropped);
+  return snap;
+}
+
+namespace {
+
+/// Shortest round-trippable formatting for the few double fields (percentile
+/// interpolations); everything else in the schema is integral.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shortest representation that still parses back exactly.
+  for (int prec = 1; prec <= 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    if (std::strtod(probe, nullptr) == v) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::string out;
+  out.reserve(4096 + snap.spans.size() * 96);
+  out += "{\"telemetry\":{\"uptime_us\":";
+  out += std::to_string(snap.uptime_us);
+
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) out += ',';
+    append_json_string(out, snap.counters[i].name);
+    out += ':';
+    out += std::to_string(snap.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) out += ',';
+    append_json_string(out, snap.gauges[i].name);
+    out += ':';
+    out += std::to_string(snap.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i) out += ',';
+    append_json_string(out, h.name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"min\":";
+    out += std::to_string(h.min);
+    out += ",\"max\":";
+    out += std::to_string(h.max);
+    out += ",\"p50\":";
+    append_double(out, h.p50);
+    out += ",\"p99\":";
+    append_double(out, h.p99);
+    out += ",\"p999\":";
+    append_double(out, h.p999);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) out += ',';
+      out += '[';
+      out += std::to_string(h.buckets[b].first);
+      out += ',';
+      out += std::to_string(h.buckets[b].second);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "},\"spans\":[";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const auto& s = snap.spans[i];
+    if (i) out += ',';
+    out += "{\"id\":";
+    out += std::to_string(s.id);
+    out += ",\"parent\":";
+    out += std::to_string(s.parent);
+    out += ",\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"thread\":";
+    out += std::to_string(s.thread);
+    out += ",\"start_us\":";
+    out += std::to_string(s.start_us);
+    out += ",\"dur_us\":";
+    out += std::to_string(s.duration_us);
+    out += '}';
+  }
+  out += "],\"spans_dropped\":";
+  out += std::to_string(snap.spans_dropped);
+  out += "}}\n";
+  return out;
+}
+
+void dump(std::ostream& os) { os << to_json(snapshot()); }
+
+bool dump_to_file(const std::string& path) {
+  const std::string json = to_json(snapshot());
+  if (path == "stderr") {
+    std::fwrite(json.data(), 1, json.size(), stderr);
+    std::fflush(stderr);
+    return true;
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    ISAAC_LOG_WARN() << "telemetry: cannot write dump to " << path;
+    return false;
+  }
+  os << json;
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+struct DumpConfig {
+  std::string path;  // "" = no configured dump
+};
+
+DumpConfig& dump_config() {
+  static DumpConfig cfg;
+  return cfg;
+}
+
+struct Flusher {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread thread;
+  std::string path;
+  unsigned interval_ms = 0;
+  bool stop = false;
+
+  ~Flusher() { shutdown(); }
+
+  void start(std::string p, unsigned ms) {
+    std::unique_lock<std::mutex> lock(mutex);
+    path = std::move(p);
+    interval_ms = ms == 0 ? 1000 : ms;
+    if (thread.joinable()) {
+      cv.notify_all();  // retarget the running thread
+      return;
+    }
+    stop = false;
+    thread = std::thread([this] { loop(); });
+  }
+
+  void shutdown() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (!thread.joinable()) return;
+      stop = true;
+    }
+    cv.notify_all();
+    thread.join();
+    // One final flush so the file reflects the complete run.
+    std::string p;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      p = path;
+    }
+    if (!p.empty()) dump_to_file(p);
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stop) {
+      cv.wait_for(lock, std::chrono::milliseconds(interval_ms));
+      if (stop) break;
+      const std::string p = path;
+      lock.unlock();
+      if (!p.empty()) dump_to_file(p);
+      lock.lock();
+    }
+  }
+};
+
+Flusher& flusher() {
+  static Flusher f;
+  return f;
+}
+
+}  // namespace
+
+const std::string& configured_dump_path() { return dump_config().path; }
+
+void dump_configured() {
+  const std::string& path = configured_dump_path();
+  if (!path.empty()) dump_to_file(path);
+}
+
+void start_flusher(std::string path, unsigned interval_ms) {
+  flusher().start(std::move(path), interval_ms);
+}
+
+void stop_flusher() { flusher().shutdown(); }
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* target = std::getenv("ISAAC_TELEMETRY");
+    if (target == nullptr || *target == '\0') return;
+    set_enabled(true);
+    set_tracing(true);
+    dump_config().path = target;
+    if (const char* spans = std::getenv("ISAAC_TELEMETRY_SPANS")) {
+      const long cap = std::strtol(spans, nullptr, 10);
+      if (cap > 0) set_trace_capacity(static_cast<std::size_t>(cap));
+    }
+    if (const char* flush = std::getenv("ISAAC_TELEMETRY_FLUSH_MS")) {
+      const long ms = std::strtol(flush, nullptr, 10);
+      if (ms > 0) start_flusher(target, static_cast<unsigned>(ms));
+    }
+  });
+}
+
+}  // namespace isaac::telemetry

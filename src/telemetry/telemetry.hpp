@@ -1,0 +1,120 @@
+// Exposition surface for the runtime telemetry layer (metrics.hpp +
+// trace.hpp): structured snapshots, a JSON serializer, file dumps, a periodic
+// flusher thread, and environment wiring.
+//
+// JSON schema (one object; see DESIGN.md "Runtime telemetry" for the field
+// contract):
+//
+//   {
+//     "telemetry": {
+//       "uptime_us": <monotonic us since process start>,
+//       "counters":   {"dispatch.select": 12, ...},
+//       "gauges":     {"pool.size": 8, ...},
+//       "histograms": {"dispatch.select_us": {"count":n, "sum":s, "min":m,
+//                       "max":M, "p50":..., "p99":..., "p999":...,
+//                       "buckets": [[lower_bound, count], ...]}, ...},
+//       "spans": [{"id":1, "parent":0, "name":"dispatch.select", "thread":0,
+//                  "start_us":..., "dur_us":...}, ...],
+//       "spans_dropped": 0
+//     }
+//   }
+//
+// Dumps never go to stdout: benches emit machine-readable BENCH/JSON lines
+// there, and telemetry must not interleave with them. dump() targets a file
+// (ISAAC_TELEMETRY=<path>, --telemetry_dump=<path>) or stderr
+// (ISAAC_TELEMETRY=stderr).
+//
+// Environment wiring (init_from_env(), idempotent, called from the Context
+// constructor and the telemetry-aware benches):
+//   ISAAC_TELEMETRY=<path>|stderr   enable metrics + tracing; Context
+//                                   destructors (and process-exit flusher
+//                                   shutdown) rewrite <path> with the current
+//                                   snapshot.
+//   ISAAC_TELEMETRY_FLUSH_MS=<n>    also start the periodic flusher: every n
+//                                   ms the snapshot is re-serialized and the
+//                                   target rewritten in place (bounded memory:
+//                                   the span ring is capacity-bounded and the
+//                                   file is truncated on every flush).
+//   ISAAC_TELEMETRY_SPANS=<n>       trace-ring capacity override.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace isaac::telemetry {
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  /// Non-empty buckets only: (bucket lower bound, count).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+struct Snapshot {
+  std::uint64_t uptime_us = 0;
+  std::vector<CounterSample> counters;      // name-sorted
+  std::vector<GaugeSample> gauges;          // name-sorted
+  std::vector<HistogramSample> histograms;  // name-sorted
+  std::vector<SpanRecord> spans;            // recording order
+  std::uint64_t spans_dropped = 0;
+
+  /// Convenience lookups for tests and assertions; 0 / nullptr when absent.
+  std::uint64_t counter_value(std::string_view name) const noexcept;
+  const HistogramSample* find_histogram(std::string_view name) const noexcept;
+};
+
+/// Consistent-enough view of everything registered so far: relaxed reads of
+/// the metric atomics plus a copy of the span ring. include_spans=false skips
+/// the ring copy (for high-frequency flushing of metrics only).
+Snapshot snapshot(bool include_spans = true);
+
+std::string to_json(const Snapshot& snap);
+
+/// Serialize a fresh snapshot to `os` (JSON, one object, trailing newline).
+void dump(std::ostream& os);
+
+/// Rewrite `path` with a fresh snapshot ("stderr" targets stderr). Returns
+/// false (and logs a warning) when the file cannot be written.
+bool dump_to_file(const std::string& path);
+
+/// The dump target configured via ISAAC_TELEMETRY ("" when unset). Context
+/// destructors dump here so short-lived programs get telemetry without any
+/// explicit call.
+const std::string& configured_dump_path();
+
+/// Write the configured dump, if any (no-op when ISAAC_TELEMETRY is unset).
+void dump_configured();
+
+/// Periodic flusher: every interval_ms, rewrite `path` with a fresh snapshot.
+/// Idempotent start (a second start retargets the existing thread); the
+/// thread is joined at process exit after one final flush.
+void start_flusher(std::string path, unsigned interval_ms);
+void stop_flusher();
+
+/// Parse the ISAAC_TELEMETRY* environment (idempotent, thread-safe). Called
+/// from Context's constructor so examples/tests/benches all honor the
+/// variables without opting in; safe to call again any time.
+void init_from_env();
+
+}  // namespace isaac::telemetry

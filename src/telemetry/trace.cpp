@@ -1,0 +1,134 @@
+#include "telemetry/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "telemetry/metrics.hpp"
+
+namespace isaac::telemetry {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_next_id{1};
+thread_local std::uint64_t t_current_span = 0;
+
+struct Ring {
+  std::mutex mutex;
+  std::vector<SpanRecord> records;
+  std::size_t capacity = std::size_t{1} << 15;
+  std::uint64_t dropped = 0;
+
+  void push(const SpanRecord& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (records.size() >= capacity) {
+      // Drop-new: the bound protects memory; early records (the cold
+      // dispatches worth reconstructing) survive, and the dropped count
+      // makes the truncation visible in every snapshot.
+      ++dropped;
+      return;
+    }
+    records.push_back(r);
+  }
+};
+
+Ring& ring() {
+  static Ring r;
+  return r;
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Touch the start time at static-init so "since process start" does not
+// depend on which thread first records a span.
+const auto g_start_anchor = process_start();
+
+}  // namespace
+
+bool tracing() noexcept { return g_tracing.load(std::memory_order_relaxed); }
+void set_tracing(bool on) noexcept { g_tracing.store(on, std::memory_order_relaxed); }
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - process_start())
+                                        .count());
+}
+
+std::uint64_t current_span() noexcept { return tracing() ? t_current_span : 0; }
+
+std::uint64_t record_span(const char* name, std::uint64_t parent, std::uint64_t start_us,
+                          std::uint64_t end_us) {
+  if (!tracing()) return 0;
+  SpanRecord r;
+  r.id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  r.parent = parent;
+  r.name = name;
+  r.thread = static_cast<std::uint32_t>(detail::thread_index());
+  r.start_us = start_us;
+  r.duration_us = end_us > start_us ? end_us - start_us : 1;
+  ring().push(r);
+  return r.id;
+}
+
+void Span::open(const char* name, std::uint64_t parent) {
+  if (!tracing()) return;
+  name_ = name;
+  parent_ = parent;
+  id_ = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  prev_current_ = t_current_span;
+  t_current_span = id_;
+  start_us_ = now_us();
+}
+
+Span::Span(const char* name) { open(name, tracing() ? t_current_span : 0); }
+
+Span::Span(const char* name, std::uint64_t parent) { open(name, parent); }
+
+Span::~Span() {
+  if (id_ == 0) return;  // tracing was off at construction
+  t_current_span = prev_current_;
+  SpanRecord r;
+  r.id = id_;
+  r.parent = parent_;
+  r.name = name_;
+  r.thread = static_cast<std::uint32_t>(detail::thread_index());
+  r.start_us = start_us_;
+  const std::uint64_t end = now_us();
+  r.duration_us = end > start_us_ ? end - start_us_ : 1;
+  ring().push(r);
+}
+
+std::uint64_t Span::elapsed_us() const noexcept {
+  if (id_ == 0) return 0;
+  const std::uint64_t end = now_us();
+  return end > start_us_ ? end - start_us_ : 0;
+}
+
+std::vector<SpanRecord> trace_spans(std::uint64_t* dropped) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (dropped) *dropped = r.dropped;
+  return r.records;
+}
+
+void set_trace_capacity(std::size_t capacity) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.capacity = capacity == 0 ? 1 : capacity;
+  r.records.clear();
+  r.records.shrink_to_fit();
+  r.dropped = 0;
+}
+
+void clear_trace() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.records.clear();
+  r.dropped = 0;
+}
+
+}  // namespace isaac::telemetry

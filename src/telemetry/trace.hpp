@@ -1,0 +1,93 @@
+// Trace spans: RAII, monotonic-clock, parent/child-linked records of the
+// dispatch lifecycle (select → tier-1 predict → background refinement, search
+// propose/measure rounds, cache compaction, collector sampling).
+//
+// A Span opened on a thread nests under that thread's innermost open span
+// (thread-local current-span stack). Work that crosses threads — a background
+// refinement enqueued by a dispatch — links explicitly: the enqueuing side
+// captures current_span() and the task opens its Span with that id as parent,
+// so a cold dispatch reconstructs end to end from one snapshot.
+//
+// Storage is a bounded ring guarded by a plain mutex (spans are per dispatch
+// / per search round, not per candidate — hundreds per second, not millions).
+// When the ring is full new records are dropped and counted, so memory stays
+// bounded no matter how long the process runs; drain via snapshot() or
+// clear the ring with reset. Tracing off (the default) makes the Span
+// constructor a relaxed load + branch: no clock read, no id allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace isaac::telemetry {
+
+/// Global on/off for span recording, independent of the metrics switch
+/// (metrics are cheap enough to keep on everywhere; traces cost a mutexed
+/// ring push per span). Enabled alongside metrics by ISAAC_TELEMETRY.
+bool tracing() noexcept;
+void set_tracing(bool on) noexcept;
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  const char* name = "";     // static string (span sites pass literals)
+  std::uint32_t thread = 0;  // dense per-thread index
+  std::uint64_t start_us = 0;     // monotonic, microseconds since process start
+  std::uint64_t duration_us = 0;  // rounded up to 1 for sub-microsecond spans
+};
+
+/// Monotonic microseconds since process start (steady clock).
+std::uint64_t now_us() noexcept;
+
+/// The innermost open span id on this thread (0 when none or tracing off).
+/// Capture it before handing work to another thread, then pass it to the
+/// Span(name, parent) constructor over there.
+std::uint64_t current_span() noexcept;
+
+/// Append a completed span directly — for phases whose start predates the
+/// recording thread's involvement (e.g. queue delay measured from enqueue to
+/// task start). Returns the allocated id (0 when tracing is off).
+std::uint64_t record_span(const char* name, std::uint64_t parent, std::uint64_t start_us,
+                          std::uint64_t end_us);
+
+class Span {
+ public:
+  /// Opens a span under this thread's current span.
+  explicit Span(const char* name);
+  /// Opens a span under an explicit parent (cross-thread linkage). The span
+  /// still becomes this thread's current span for its lifetime.
+  Span(const char* name, std::uint64_t parent);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// This span's id — 0 when tracing was off at construction. Stable for the
+  /// span's lifetime; safe to capture into background tasks as their parent.
+  std::uint64_t id() const noexcept { return id_; }
+
+  /// Microseconds since this span opened (0 when inactive).
+  std::uint64_t elapsed_us() const noexcept;
+
+ private:
+  void open(const char* name, std::uint64_t parent);
+
+  const char* name_ = "";
+  std::uint64_t id_ = 0;  // 0 = inactive
+  std::uint64_t parent_ = 0;
+  std::uint64_t prev_current_ = 0;
+  std::uint64_t start_us_ = 0;
+};
+
+/// Drain-free read of the ring: copies the records accumulated so far, in
+/// recording order. `dropped` (optional) reports how many spans were lost to
+/// the capacity bound since the last reset.
+std::vector<SpanRecord> trace_spans(std::uint64_t* dropped = nullptr);
+
+/// Ring capacity (records). Setting it clears the ring. Default 1 << 15.
+void set_trace_capacity(std::size_t capacity);
+
+/// Clear the ring and the dropped count (reset_for_testing calls this).
+void clear_trace();
+
+}  // namespace isaac::telemetry

@@ -11,6 +11,8 @@
 #include "core/operation.hpp"
 #include "search/driver.hpp"
 #include "search/factory.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace isaac::tuning {
 
@@ -88,6 +90,10 @@ CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfi
                               const ShapeFn& shape_fn) {
   using Traits = core::OperationTraits<Op>;
   using ShapeT = typename Traits::Shape;
+
+  telemetry::Span span("collect");
+  ISAAC_TM_COUNT("collect.runs");
+  const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_us() : 0;
   const typename Traits::SearchSpace space;
   const auto& dev = sim.device();
   const auto validate_fn = [&](const ShapeT& s, const typename Traits::Tuning& t) {
@@ -237,6 +243,11 @@ CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfi
   report.generation.attempted = attempted;
   report.generation.accepted = accepted;
   report.wall_seconds_simulated = simulated_time;
+
+  ISAAC_TM_COUNT_N("collect.samples", report.dataset.size());
+  ISAAC_TM_COUNT_N("collect.attempted", report.generation.attempted);
+  ISAAC_TM_COUNT_N("collect.accepted", report.generation.accepted);
+  if (t0) ISAAC_TM_RECORD("collect.us", telemetry::now_us() - t0);
 
   ISAAC_LOG_INFO() << "collected " << report.dataset.size() << " samples (model acceptance "
                    << report.generation.rate() * 100.0 << "%, simulated device time "
