@@ -26,6 +26,13 @@
 // proxy: chunks after the first cost the same when nothing allocates), and
 // the blocked GEMM's speedup over gemm_reference on the MLP-shaped case.
 // One JSON line per op plus a summary line, for cross-PR trajectory diffing.
+//
+// Online-learning mode: `--online_learning` replays a cold shape stream
+// against a degraded tesla_p100 with the model lifecycle enabled (DESIGN.md,
+// "Online model lifecycle") and emits the probe-set error trajectory, drift
+// trip / retrain / hot-swap counts, the stale-vs-fresh error improvement,
+// and hot select() p99 with a retrain active vs idle — stdout JSON lines
+// plus BENCH_online_learning.json for the CI artifact.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -234,6 +241,209 @@ void BM_GenerativeSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerativeSampling);
 
+// ---------------------------------------------------------- online learning --
+
+/// tesla_p100 after "the device changed under us": fewer SMs, lower clocks,
+/// a third of the advertised peak. A model trained on the real p100
+/// over-predicts on every shape here — the drift scenario's ground truth.
+gpusim::DeviceDescriptor degraded_p100() {
+  gpusim::DeviceDescriptor dev = gpusim::tesla_p100();
+  dev.name = "tesla_p100_degraded";
+  dev.num_sms /= 2;
+  dev.boost_clock_ghz *= 0.6;
+  dev.peak_sp_tflops *= 0.3;
+  return dev;
+}
+
+/// Ground-truth (features, measured gflops) pairs on the degraded device —
+/// the held-out probe set the error trajectory is evaluated against.
+const tuning::Dataset& degraded_probe() {
+  static const tuning::Dataset data = [] {
+    gpusim::Simulator sim(degraded_p100(), 0.0, 31);
+    tuning::CollectorConfig cfg;
+    cfg.num_samples = 400;
+    cfg.seed = 31;
+    return tuning::collect_gemm(sim, cfg).dataset;
+  }();
+  return data;
+}
+
+double mean_rel_error(const mlp::Regressor& m, const tuning::Dataset& data) {
+  double acc = 0.0;
+  for (const auto& s : data.samples()) {
+    acc += std::abs(m.predict_gflops(s.x) - s.y) / s.y;
+  }
+  return acc / static_cast<double>(data.size());
+}
+
+struct RetrainLatency {
+  double p99_baseline_us = 0.0;   ///< hot select p99, no retrain running
+  double p99_during_us = 0.0;     ///< hot select p99 while the retrain trains
+  std::size_t during_samples = 0; ///< selects timed inside the retrain window
+  double retrain_wall_ms = 0.0;
+  bool retrained = false;         ///< the retrain actually ran and hot-swapped
+};
+
+/// Hot-path select() latency with and without an active background retrain —
+/// the "retraining must never block dispatch" number. The retrain runs on the
+/// global thread pool; the measuring thread owns the hot cache-hit path, so
+/// any p99 regression here would be lock contention, which is exactly what
+/// the snapshot API removes. Raw per-select p99 over tens of thousands of
+/// samples: scheduler preemptions (sub-0.1% of samples on a busy runner)
+/// stay below the 1% tail.
+RetrainLatency measure_select_under_retrain() {
+  core::ContextOptions opts = dispatch_options();
+  opts.online.enabled = true;
+  opts.online.drift.threshold = 1e9;  // retrain only on explicit request
+  opts.online.retrain.min_observations = 32;
+  opts.online.retrain.epochs = 150;   // a deliberately wide retrain window
+  core::Context ctx(gpusim::tesla_p100(), opts);
+  ctx.set_model(model());
+  const auto shapes = dispatch_shapes();
+  ctx.warmup(shapes).wait();
+  ctx.drain_background();
+
+  using Clock = std::chrono::steady_clock;
+  const auto time_select_us = [&](std::size_t i) {
+    const auto t0 = Clock::now();
+    ctx.select<core::GemmOp>(shapes[i % shapes.size()]);
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+  };
+
+  constexpr std::size_t kBaselineSamples = 20000;
+  std::vector<double> baseline_us;
+  baseline_us.reserve(kBaselineSamples);
+  for (std::size_t i = 0; i < kBaselineSamples; ++i) baseline_us.push_back(time_select_us(i));
+
+  // Feed the log a fold big enough to keep the trainer busy for a while.
+  const auto& probe = degraded_probe();
+  const std::uint64_t version = ctx.model_snapshot()->version();
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& s : probe.samples()) {
+      tuning::Observation o;
+      o.op = "gemm";
+      o.features = s.x;
+      o.measured_gflops = s.y;
+      o.predicted_gflops = s.y;
+      o.model_version = version;
+      ctx.observation_log().append(std::move(o));
+    }
+  }
+
+  RetrainLatency out;
+  std::vector<double> during_us;
+  during_us.reserve(kBaselineSamples);
+  if (ctx.request_retrain()) {
+    constexpr std::size_t kMaxDuringSamples = 400000;
+    std::size_t i = 0;
+    while (ctx.retrain_in_flight() && during_us.size() < kMaxDuringSamples) {
+      during_us.push_back(time_select_us(i++));
+    }
+  }
+  ctx.drain_background();
+  out.retrained = ctx.retrains() > 0;
+  out.retrain_wall_ms = static_cast<double>(ctx.last_retrain_us()) / 1000.0;
+  out.during_samples = during_us.size();
+  // Bracket the retrain window with a second idle baseline and keep the
+  // worse of the two: ambient machine drift (frequency scaling, a noisy
+  // neighbour) inflates both baselines, while model-path lock contention —
+  // what this measurement exists to catch — only inflates the during-window.
+  std::vector<double> baseline2_us;
+  baseline2_us.reserve(kBaselineSamples);
+  for (std::size_t i = 0; i < kBaselineSamples; ++i) baseline2_us.push_back(time_select_us(i));
+  out.p99_baseline_us =
+      std::max(stats::percentile(baseline_us, 0.99), stats::percentile(baseline2_us, 0.99));
+  out.p99_during_us = during_us.empty() ? 0.0 : stats::percentile(during_us, 0.99);
+  return out;
+}
+
+/// Online-learning mode: `--online_learning` replays a cold GEMM stream
+/// against the degraded device with the full lifecycle enabled — blocking
+/// searches feed the observation log, drift trips, warm-start retrains run
+/// on the pool, successors hot-swap in — and emits the error trajectory
+/// (serving-model error on the degraded probe set after every batch), the
+/// drift/retrain/swap counts, the stale-vs-fresh error improvement, and the
+/// hot select() p99 with a retrain active vs idle. One JSON object per line
+/// on stdout, mirrored to BENCH_online_learning.json for CI upload.
+int run_online_learning() {
+  const auto& m = model();
+  const auto& probe = degraded_probe();
+  const double err_stale = mean_rel_error(m, probe);
+  std::string json;
+
+  core::ContextOptions opts = dispatch_options();
+  opts.two_tier = false;  // the leader records synchronously: deterministic counts
+  opts.online.enabled = true;
+  opts.online.drift.threshold = 0.35;
+  opts.online.drift.window = 32;
+  opts.online.drift.min_observations = 16;
+  opts.online.retrain.min_observations = 48;
+  opts.online.retrain.epochs = 40;
+  core::Context ctx(degraded_p100(), opts);
+  ctx.set_model(m);
+
+  // A cold shape stream: every select is a blocking search whose measured
+  // set lands in the observation log.
+  std::vector<codegen::GemmShape> stream;
+  for (const std::int64_t base : {48, 64, 96, 128, 192, 256}) {
+    for (const std::int64_t n : {16, 32, 64, 96}) {
+      codegen::GemmShape s;
+      s.m = base;
+      s.n = n;
+      s.k = base + n;
+      stream.push_back(s);
+    }
+  }
+
+  constexpr std::size_t kBatch = 4;
+  char line[512];
+  for (std::size_t begin = 0; begin < stream.size(); begin += kBatch) {
+    const std::size_t end = std::min(stream.size(), begin + kBatch);
+    for (std::size_t i = begin; i < end; ++i) ctx.select<core::GemmOp>(stream[i]);
+    ctx.drain_background();  // land any scheduled retrain before evaluating
+    const auto snap = ctx.model_snapshot();
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"online_learning\",\"phase\":\"trajectory\",\"batch\":%zu,"
+                  "\"shapes_replayed\":%zu,\"observations\":%llu,\"model_version\":%llu,"
+                  "\"probe_rel_err\":%.4f}\n",
+                  begin / kBatch, end,
+                  static_cast<unsigned long long>(ctx.observation_log().total_appended()),
+                  static_cast<unsigned long long>(snap->version()),
+                  mean_rel_error(snap->regressor(), probe));
+    std::fputs(line, stdout);
+    std::fflush(stdout);
+    json.append(line);
+  }
+
+  const double err_fresh = mean_rel_error(ctx.model_snapshot()->regressor(), probe);
+  const double improvement = err_fresh > 0.0 ? err_stale / err_fresh : 0.0;
+  const auto rl = measure_select_under_retrain();
+  const double p99_ratio =
+      rl.p99_baseline_us > 0.0 ? rl.p99_during_us / rl.p99_baseline_us : 0.0;
+
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"online_learning\",\"phase\":\"summary\",\"drift_trips\":%zu,"
+      "\"retrains\":%zu,\"swaps\":%zu,\"model_version\":%llu,"
+      "\"err_stale\":%.4f,\"err_fresh\":%.4f,\"err_improvement\":%.2f,"
+      "\"retrain_wall_ms\":%.1f,\"p99_select_baseline_us\":%.2f,"
+      "\"p99_select_during_retrain_us\":%.2f,\"p99_ratio\":%.3f,"
+      "\"during_samples\":%zu}\n",
+      ctx.drift_trips(), ctx.retrains(), ctx.model_swaps(),
+      static_cast<unsigned long long>(ctx.model_snapshot()->version()), err_stale, err_fresh,
+      improvement, rl.retrain_wall_ms, rl.p99_baseline_us, rl.p99_during_us, p99_ratio,
+      rl.during_samples);
+  std::fputs(line, stdout);
+  std::fflush(stdout);
+  json.append(line);
+
+  if (std::FILE* f = std::fopen("BENCH_online_learning.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
 // ------------------------------------------------------- dispatch latency --
 
 /// Cold-dispatch latency mode: `--dispatch_latency` times the first
@@ -313,6 +523,35 @@ int run_dispatch_latency() {
       static_cast<double>(agree) / static_cast<double>(shapes.size()), fast.predictions(),
       fast.refinements());
   std::fflush(stdout);
+
+  // Retraining must never block dispatch: hot select() p99 with a warm-start
+  // retrain actively training on the pool must stay within 1.2× of the
+  // no-retrain baseline. Asserted here (not just reported) so any future
+  // lock added to the model path fails this mode loudly.
+  const auto rl = measure_select_under_retrain();
+  const double p99_ratio =
+      rl.p99_baseline_us > 0.0 ? rl.p99_during_us / rl.p99_baseline_us : 0.0;
+  std::printf(
+      "{\"bench\":\"dispatch_latency\",\"op\":\"gemm\",\"mode\":\"retrain_overlap\","
+      "\"p99_baseline_us\":%.2f,\"p99_during_retrain_us\":%.2f,\"p99_ratio\":%.3f,"
+      "\"during_samples\":%zu,\"retrain_wall_ms\":%.1f,\"retrained\":%s}\n",
+      rl.p99_baseline_us, rl.p99_during_us, p99_ratio, rl.during_samples, rl.retrain_wall_ms,
+      rl.retrained ? "true" : "false");
+  std::fflush(stdout);
+  if (!rl.retrained || rl.during_samples == 0) {
+    std::fprintf(stderr,
+                 "[dispatch_latency] retrain-overlap window never materialized "
+                 "(retrained=%d, during_samples=%zu)\n",
+                 rl.retrained ? 1 : 0, rl.during_samples);
+    return 1;
+  }
+  if (p99_ratio > 1.2) {
+    std::fprintf(stderr,
+                 "[dispatch_latency] hot select p99 degraded %.3fx (> 1.2x) during an "
+                 "active retrain — retraining is blocking dispatch\n",
+                 p99_ratio);
+    return 1;
+  }
   return 0;
 }
 
@@ -740,6 +979,7 @@ int main(int argc, char** argv) {
     if (std::string(args[i]) == "--search_sweep") return finish(run_search_sweep());
     if (std::string(args[i]) == "--dispatch_latency") return finish(run_dispatch_latency());
     if (std::string(args[i]) == "--rank_throughput") return finish(run_rank_throughput());
+    if (std::string(args[i]) == "--online_learning") return finish(run_online_learning());
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());

@@ -67,7 +67,11 @@ using BatchedGemmPredictResult = PredictResult<codegen::GemmTuning>;
 /// against OperationTraits<Op>::default_search()). Throws std::runtime_error
 /// when no legal configuration exists and std::invalid_argument for an
 /// unknown strategy. Thread-safe: shares only const state and the global
-/// thread pool.
+/// thread pool. `model` is borrowed for the whole call — a caller whose
+/// model can be hot-swapped (Context) pins one VersionedModel snapshot per
+/// tune and passes its regressor, so the returned ranking (TuneResult::top,
+/// the search's measured set, which the online lifecycle folds into the
+/// observation log) is attributable to exactly one model version.
 template <typename Op>
 TuneResult<typename OperationTraits<Op>::Tuning> tune(
     const typename OperationTraits<Op>::Shape& shape, const mlp::Regressor& model,

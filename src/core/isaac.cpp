@@ -1,6 +1,8 @@
 #include "core/isaac.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "common/logging.hpp"
 
@@ -18,12 +20,21 @@ const gpusim::DeviceDescriptor& with_env_init(const gpusim::DeviceDescriptor& de
   return device;
 }
 
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
 }  // namespace
 
 Context::Context(const gpusim::DeviceDescriptor& device, ContextOptions options)
     : sim_(with_env_init(device), options.noise_sigma, options.seed),
       options_(std::move(options)),
-      cache_(options_.cache_dir) {}
+      cache_(options_.cache_dir),
+      observations_(options_.online.log_capacity, options_.online.log_dir),
+      drift_(options_.online.drift),
+      retrainer_(options_.online.retrain) {}
 
 Context::~Context() {
   drain_background();
@@ -55,11 +66,136 @@ void Context::train_model(std::size_t samples, int epochs) {
   ISAAC_LOG_INFO() << "trained model on " << report.dataset.size() << " samples";
 }
 
-void Context::set_model(mlp::Regressor model) { model_.emplace(std::move(model)); }
+void Context::set_model(mlp::Regressor model) {
+  std::shared_ptr<const mlp::VersionedModel> versioned;
+  {
+    // Version assignment and publication under one lock so racing installs
+    // cannot mint the same version id.
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    const std::uint64_t parent = model_ ? model_->version() : 0;
+    mlp::TrainProvenance prov;
+    prov.source = "install";
+    prov.parent_version = parent;
+    versioned =
+        std::make_shared<mlp::VersionedModel>(std::move(model), parent + 1, std::move(prov));
+    versioned.swap(model_);
+  }
+  // `versioned` now holds the predecessor (nullptr on first install).
+  if (versioned) {
+    model_swaps_.fetch_add(1, std::memory_order_relaxed);
+    ISAAC_TM_COUNT("model.swaps");
+    drift_.reset();
+  }
+}
 
-const mlp::Regressor& Context::model() const {
-  if (!model_) throw std::logic_error("Context: no model trained or installed");
-  return *model_;
+void Context::install_model(std::shared_ptr<const mlp::VersionedModel> model) {
+  if (!model) throw std::invalid_argument("Context::install_model: null model");
+  telemetry::Span span("model.swap");
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model.swap(model_);
+  }
+  // `model` now holds the predecessor; dropping it here (outside the lock)
+  // frees the old version only once every pinned reader has also let go.
+  if (model) {
+    model_swaps_.fetch_add(1, std::memory_order_relaxed);
+    ISAAC_TM_COUNT("model.swaps");
+    // The successor starts with clean error windows: drift is judged per
+    // version, not across the swap.
+    drift_.reset();
+  }
+}
+
+std::shared_ptr<const mlp::VersionedModel> Context::model_snapshot() const noexcept {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+void Context::maybe_schedule_retrain(bool drift_tripped) {
+  const auto& online = options_.online;
+  if (!online.enabled) return;
+  if (!drift_tripped) {
+    if (online.retrain_every == 0) return;
+    const std::uint64_t total = observations_recorded_.load(std::memory_order_relaxed);
+    const std::uint64_t mark = last_retrain_mark_.load(std::memory_order_relaxed);
+    if (total - mark < online.retrain_every) return;
+  }
+  if (observations_.size() < online.retrain.min_observations) return;
+  schedule_retrain();
+}
+
+bool Context::request_retrain() {
+  if (!options_.online.enabled) return false;
+  if (!model_snapshot()) return false;
+  return schedule_retrain();
+}
+
+bool Context::schedule_retrain() {
+  if (retrain_inflight_.exchange(true, std::memory_order_acq_rel)) return false;
+  last_retrain_mark_.store(observations_recorded_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    ++background_pending_;
+  }
+  ISAAC_TM_COUNT("model.retrain_enqueued");
+  const std::uint64_t parent_span = telemetry::current_span();
+  ThreadPool::global().submit([this, parent_span] {
+    run_retrain(parent_span);
+    // Last step, notify under the lock: a destructor waiting on
+    // background_pending_ == 0 cannot resume (and free `this`) until this
+    // task's unlock, after which the task touches nothing of `this`.
+    {
+      std::lock_guard<std::mutex> lock(background_mutex_);
+      --background_pending_;
+      background_cv_.notify_all();
+    }
+  });
+  return true;
+}
+
+bool Context::retrain_now() {
+  if (!options_.online.enabled) return false;
+  if (retrain_inflight_.exchange(true, std::memory_order_acq_rel)) return false;
+  last_retrain_mark_.store(observations_recorded_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  return run_retrain(telemetry::current_span());
+}
+
+bool Context::run_retrain(std::uint64_t parent_span) {
+  const std::uint64_t begin_us = steady_now_us();
+  bool swapped = false;
+  {
+    telemetry::Span span("model.retrain", parent_span);
+    try {
+      const auto base = model_snapshot();
+      if (base) {
+        // Drain, don't snapshot: each observation trains at most one
+        // successor, so a stable workload doesn't re-fold the same rows
+        // into every later version.
+        const auto observations = observations_.drain();
+        auto next =
+            std::make_shared<const mlp::VersionedModel>(retrainer_.retrain(*base, observations));
+        ISAAC_LOG_INFO() << "retrained model v" << base->version() << " -> v" << next->version()
+                         << " on " << next->provenance().samples << " observations";
+        install_model(std::move(next));
+        retrains_.fetch_add(1, std::memory_order_relaxed);
+        ISAAC_TM_COUNT("model.retrains");
+        swapped = true;
+      }
+    } catch (const std::exception& e) {
+      ISAAC_TM_COUNT("model.retrain_failed");
+      ISAAC_LOG_WARN() << "retrain failed (model unchanged): " << e.what();
+    } catch (...) {
+      ISAAC_TM_COUNT("model.retrain_failed");
+      ISAAC_LOG_WARN() << "retrain failed (model unchanged)";
+    }
+  }
+  const std::uint64_t elapsed = steady_now_us() - begin_us;
+  last_retrain_us_.store(elapsed, std::memory_order_relaxed);
+  ISAAC_TM_RECORD("model.retrain_us", elapsed);
+  retrain_inflight_.store(false, std::memory_order_release);
+  return swapped;
 }
 
 }  // namespace isaac::core

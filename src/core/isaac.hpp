@@ -25,11 +25,13 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,10 +45,33 @@
 #include "core/profile_cache.hpp"
 #include "gpusim/simulator.hpp"
 #include "mlp/regressor.hpp"
+#include "mlp/versioned_model.hpp"
 #include "telemetry/telemetry.hpp"
 #include "tuning/collector.hpp"
+#include "tuning/observation_log.hpp"
+#include "tuning/online.hpp"
 
 namespace isaac::core {
+
+/// Online model lifecycle (DESIGN.md, "Online model lifecycle"): learn from
+/// production measurements. Disabled by default — dispatch behavior is then
+/// bit-identical to a fixed-model Context: no observations are recorded, no
+/// retrain ever runs, and the installed model serves unchanged.
+struct OnlineLearningOptions {
+  bool enabled = false;
+  /// Bounded in-memory observation ring; oldest records drop first.
+  std::size_t log_capacity = 4096;
+  /// "" = in-memory only; otherwise every observation is flock-appended to
+  /// `log_dir/isaac_observations.txt` for durability and offline replay.
+  std::string log_dir;
+  /// Rolling model-vs-measured relative-error windows that trip retraining.
+  tuning::DriftConfig drift;
+  /// Fold + warm-start-train settings for the successor version.
+  tuning::RetrainConfig retrain;
+  /// Also retrain every N appended observations regardless of drift
+  /// (0 = retrain only on drift trips or explicit request_retrain()).
+  std::size_t retrain_every = 0;
+};
 
 struct ContextOptions {
   double noise_sigma = 0.03;       // simulated measurement noise
@@ -61,6 +86,9 @@ struct ContextOptions {
   /// false = every cold select() blocks on the full configured search — the
   /// pre-two-tier behavior, still what model-less Contexts do.
   bool two_tier = true;
+  /// Learn from production measurements: observation log, drift detection,
+  /// warm-start retraining, hot model swaps. Off by default.
+  OnlineLearningOptions online;
 };
 
 /// What a tuned call reports back.
@@ -101,17 +129,34 @@ class Context {
   /// model quality against tuning time (Fig. 5).
   void train_model(std::size_t samples = 8000, int epochs = 12);
 
-  /// Install an externally trained / deserialized model.
+  /// Install an externally trained / deserialized model: wraps it into the
+  /// next VersionedModel (version = current + 1, provenance "install") and
+  /// hot-swaps it in. Safe while other threads dispatch — they pinned a
+  /// snapshot of the predecessor and finish their operation on it.
   void set_model(mlp::Regressor model);
-  bool has_model() const noexcept { return model_.has_value(); }
-  const mlp::Regressor& model() const;
+
+  /// Hot-swap an externally built version in. The caller owns version
+  /// assignment; Context's own producers derive current version + 1.
+  void install_model(std::shared_ptr<const mlp::VersionedModel> model);
+
+  /// Pin the current model for one operation. The returned snapshot is
+  /// immutable and keeps the model alive across any concurrent hot swap —
+  /// every dispatch-path reader (select, tune, background refinement,
+  /// warmup) pins exactly one snapshot and scores its whole ranking against
+  /// it, so a mid-flight swap never mixes two models in one decision.
+  /// Returns nullptr when no model is installed.
+  std::shared_ptr<const mlp::VersionedModel> model_snapshot() const noexcept;
+
+  bool has_model() const noexcept { return model_snapshot() != nullptr; }
 
   /// Input-aware kernel selection (uncached; see run()/select() for the
   /// cached path). Requires a model.
   template <typename Op>
   TuneResult<typename OperationTraits<Op>::Tuning> tune(
       const typename OperationTraits<Op>::Shape& shape) {
-    return core::tune<Op>(shape, model(), sim_, options_.search);
+    const auto snapshot = model_snapshot();
+    if (!snapshot) throw std::logic_error("Context: no model trained or installed");
+    return core::tune<Op>(shape, snapshot->regressor(), sim_, options_.search);
   }
   GemmTuneResult tune_gemm(const codegen::GemmShape& shape) { return tune<GemmOp>(shape); }
   ConvTuneResult tune_conv(const codegen::ConvShape& shape) { return tune<ConvOp>(shape); }
@@ -214,6 +259,42 @@ class Context {
 
   ProfileCache& cache() noexcept { return cache_; }
 
+  // ---- online model lifecycle (no-ops unless options.online.enabled) ----
+
+  /// The bounded production-measurement log feeding retrains.
+  tuning::ObservationLog& observation_log() noexcept { return observations_; }
+
+  /// Ask for a retrain off the hot path: folds the current log into the
+  /// dataset on the global pool and hot-swaps the successor version in.
+  /// Returns false when one is already in flight or no model is installed.
+  /// Needs online learning enabled but ignores drift state and
+  /// retrain.min_observations-independent triggers — this is the "on
+  /// demand" path.
+  bool request_retrain();
+
+  /// Synchronous retrain on the calling thread (deterministic tests and
+  /// benches). Returns true when a successor version was swapped in.
+  bool retrain_now();
+
+  /// Hot swaps performed (installs that replaced a live model).
+  std::size_t model_swaps() const noexcept { return model_swaps_.load(); }
+
+  /// Warm-start retrains that completed and swapped a successor in.
+  std::size_t retrains() const noexcept { return retrains_.load(); }
+
+  /// Drift-detector trips (each schedules a retrain unless one is pending).
+  std::size_t drift_trips() const noexcept { return drift_trips_.load(); }
+
+  /// A background retrain is currently running.
+  bool retrain_in_flight() const noexcept {
+    return retrain_inflight_.load(std::memory_order_acquire);
+  }
+
+  /// Wall time of the most recent completed retrain, microseconds (0 = none).
+  std::uint64_t last_retrain_us() const noexcept {
+    return last_retrain_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Enqueue the background refinement for `key` unless one is already
   /// pending (or already landed). The refining set is the exactly-once gate:
@@ -223,9 +304,37 @@ class Context {
   template <typename Op>
   void maybe_refine(const std::string& key, const typename OperationTraits<Op>::Shape& shape);
 
+  /// Fold a search's measured candidates into the observation log, feed the
+  /// drift detector, and schedule a retrain when a trigger fires. Never
+  /// throws (a lifecycle hiccup must not fail the dispatch that produced the
+  /// measurements). No-op unless online learning is enabled.
+  template <typename Op>
+  void record_observations(const mlp::VersionedModel& model,
+                           const typename OperationTraits<Op>::Shape& shape,
+                           const TuneResult<typename OperationTraits<Op>::Tuning>& result);
+
+  /// Trigger policy: schedule when drift tripped, or when retrain_every
+  /// observations accumulated since the last retrain, gated on the log
+  /// holding at least retrain.min_observations records.
+  void maybe_schedule_retrain(bool drift_tripped);
+
+  /// Exactly-once gate + pool submission; false when one is already pending.
+  bool schedule_retrain();
+
+  /// The retrain body: drain log → warm-start train → hot swap. Returns
+  /// whether a successor was swapped in; always clears the in-flight gate.
+  bool run_retrain(std::uint64_t parent_span);
+
   gpusim::Simulator sim_;
   ContextOptions options_;
-  std::optional<mlp::Regressor> model_;
+
+  // The hot-swappable model slot. A plain mutex-guarded shared_ptr: readers
+  // pin a snapshot once per operation (model_snapshot()), writers swap the
+  // pointer; the old version dies when its last pinned reader drops it —
+  // never mid-ranking, never under a lock.
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const mlp::VersionedModel> model_;
+
   ProfileCache cache_;
 
   // Single-flight state: key -> future completed once the key is in cache_.
@@ -238,8 +347,21 @@ class Context {
   std::atomic<std::size_t> predictions_{0};
   std::atomic<std::size_t> refinements_{0};
 
-  // Outstanding background tasks — warmup selections and refinements (they
-  // capture `this`); ~Context waits on zero.
+  // Online model lifecycle state (inert when options_.online.enabled is
+  // false: the log and detector are constructed but never fed).
+  tuning::ObservationLog observations_;
+  tuning::DriftDetector drift_;
+  tuning::Retrainer retrainer_;
+  std::atomic<bool> retrain_inflight_{false};
+  std::atomic<std::size_t> model_swaps_{0};
+  std::atomic<std::size_t> retrains_{0};
+  std::atomic<std::size_t> drift_trips_{0};
+  std::atomic<std::uint64_t> last_retrain_us_{0};
+  std::atomic<std::uint64_t> observations_recorded_{0};
+  std::atomic<std::uint64_t> last_retrain_mark_{0};
+
+  // Outstanding background tasks — warmup selections, refinements and
+  // retrains (they capture `this`); ~Context waits on zero.
   std::mutex background_mutex_;
   std::condition_variable background_cv_;
   std::size_t background_pending_ = 0;
@@ -306,11 +428,16 @@ typename OperationTraits<Op>::Tuning Context::select(
       EntryTier winner_tier = EntryTier::refined;
       std::exception_ptr error;
       try {
-        if (options_.two_tier && has_model()) {
+        // One snapshot pin for the whole leader operation: a concurrent hot
+        // swap cannot mix two model versions into one decision, and the
+        // pinned version outlives the ranking no matter when the swap lands.
+        const auto snapshot = model_snapshot();
+        if (options_.two_tier && snapshot) {
           // Tier 1: the model's argmax, zero measurements on this thread.
           telemetry::Span predict_span("select.predict");
           ISAAC_TM_COUNT("dispatch.leader_predict");
-          const auto pred = core::predict<Op>(shape, model(), sim_.device(), options_.search);
+          const auto pred =
+              core::predict<Op>(shape, snapshot->regressor(), sim_.device(), options_.search);
           cache_.store<Op>(dev, shape, pred.tuning,
                            ProfileCache::provenance("predict", 0, EntryTier::provisional));
           predictions_.fetch_add(1, std::memory_order_relaxed);
@@ -318,9 +445,11 @@ typename OperationTraits<Op>::Tuning Context::select(
           winner_tier = EntryTier::provisional;
           maybe_refine<Op>(key, shape);
         } else {
+          if (!snapshot) throw std::logic_error("Context: no model trained or installed");
           telemetry::Span tune_span("select.tune");
           ISAAC_TM_COUNT("dispatch.leader_tune");
-          const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
+          const auto result =
+              core::tune<Op>(shape, snapshot->regressor(), sim_, options_.search);
           // Provenance records the evaluations actually spent (≤ the
           // requested budget): truthful even for "unlimited" sweeps.
           cache_.store<Op>(dev, shape, result.best.tuning,
@@ -328,6 +457,7 @@ typename OperationTraits<Op>::Tuning Context::select(
                                                     EntryTier::refined));
           tuning_runs_.fetch_add(1, std::memory_order_relaxed);
           winner = result.best.tuning;
+          record_observations<Op>(*snapshot, shape, result);
         }
         promise.set_value();
       } catch (...) {
@@ -388,7 +518,15 @@ void Context::maybe_refine(const std::string& key,
       // refinement's spans are observable in a snapshot.
       telemetry::Span run_span("refine.run", parent_span);
       try {
-        const auto result = core::tune<Op>(shape, model(), sim_, options_.search);
+        // Pin the version current *now* — possibly newer than the one whose
+        // tier-1 prediction this task refines, which is fine: the refinement
+        // is a fresh full search, internally consistent on its own pin, and
+        // the pin keeps a concurrently swapped-out model alive until done
+        // (the set_model() use-after-free this replaces).
+        const auto snapshot = model_snapshot();
+        if (!snapshot) throw std::logic_error("Context: model uninstalled mid-refinement");
+        const auto result =
+            core::tune<Op>(shape, snapshot->regressor(), sim_, options_.search);
         upgraded = cache_.upgrade<Op>(device().name, shape, result.best.tuning,
                                       ProfileCache::provenance(result.strategy,
                                                                result.measured,
@@ -400,6 +538,7 @@ void Context::maybe_refine(const std::string& key,
         } else {
           ISAAC_TM_COUNT("refine.rejected");
         }
+        record_observations<Op>(*snapshot, shape, result);
       } catch (const std::exception& e) {
         ISAAC_TM_COUNT("refine.failed");
         // The provisional prediction stays live and functional; a later hit on
@@ -472,6 +611,46 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
     });
   }
   return future;
+}
+
+template <typename Op>
+void Context::record_observations(
+    const mlp::VersionedModel& model, const typename OperationTraits<Op>::Shape& shape,
+    const TuneResult<typename OperationTraits<Op>::Tuning>& result) {
+  if (!options_.online.enabled) return;
+  try {
+    // result.top is exactly the search's measured set (every distinct
+    // candidate `search.measure` timed, best first) — the (shape, tuning,
+    // gflops) triples PR 3 used to throw away.
+    std::size_t appended = 0;
+    bool tripped = false;
+    for (const auto& candidate : result.top) {
+      if (!(candidate.measured_gflops > 0.0)) continue;
+      tuning::Observation obs;
+      obs.op = OperationTraits<Op>::kind();
+      obs.features = OperationTraits<Op>::featurize(shape, candidate.tuning);
+      obs.measured_gflops = candidate.measured_gflops;
+      // Model-free strategies propose without predictions; score the pinned
+      // model once per observation so the drift signal stays defined.
+      obs.predicted_gflops = candidate.predicted_gflops > 0.0
+                                 ? candidate.predicted_gflops
+                                 : model.regressor().predict_gflops(obs.features);
+      obs.model_version = model.version();
+      if (drift_.observe(obs.op, obs.predicted_gflops, obs.measured_gflops)) {
+        tripped = true;
+        drift_trips_.fetch_add(1, std::memory_order_relaxed);
+        ISAAC_TM_COUNT("model.drift_trips");
+      }
+      observations_.append(std::move(obs));
+      ++appended;
+    }
+    if (appended) {
+      observations_recorded_.fetch_add(appended, std::memory_order_relaxed);
+      maybe_schedule_retrain(tripped);
+    }
+  } catch (const std::exception& e) {
+    ISAAC_LOG_WARN() << "observation recording failed: " << e.what();
+  }
 }
 
 }  // namespace isaac::core

@@ -204,6 +204,10 @@ double Regressor::mse(const tuning::Dataset& data) const {
 }
 
 void Regressor::save(std::ostream& os) const {
+  // max_digits10 makes the decimal text round-trip every float weight and
+  // double statistic exactly — a loaded model predicts bit-identically.
+  const std::streamsize saved_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "isaac-regressor v1\n";
   os << "log_features " << (log_features_ ? 1 : 0) << "\n";
   os << "y_scale " << y_mean_ << " " << y_std_ << "\n";
@@ -224,6 +228,7 @@ void Regressor::save(std::ostream& os) const {
     for (std::size_t i = 0; i < b.size(); ++i) os << b.data()[i] << " ";
     os << "\n";
   }
+  os.precision(saved_precision);
 }
 
 Regressor Regressor::load(std::istream& is) {
@@ -260,6 +265,71 @@ Regressor Regressor::load(std::istream& is) {
   if (!is) throw std::runtime_error("Regressor::load: truncated stream");
   return Regressor(std::move(net), std::move(scaler), y_mean, y_std, logf != 0);
 }
+
+namespace {
+
+/// The minibatch-Adam loop shared by cold training and warm-start training:
+/// optimize `net` in place over the already-encoded (x_all, y_all).
+void fit_minibatch(Mlp& net, const Matrix& x_all, const Matrix& y_all,
+                   const TrainConfig& config) {
+  const std::size_t n = x_all.rows();
+  const std::size_t width = x_all.cols();
+
+  Adam adam(config.learning_rate);
+  Rng rng(config.seed ^ 0xABCD);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  const std::size_t batch = static_cast<std::size_t>(std::max(config.batch_size, 1));
+  std::vector<Matrix> dW, db;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      const std::size_t bs = end - start;
+      Matrix xb(bs, width);
+      Matrix yb(bs, 1);
+      for (std::size_t i = 0; i < bs; ++i) {
+        const std::size_t src = order[start + i];
+        for (std::size_t c = 0; c < width; ++c) xb(i, c) = x_all(src, c);
+        yb(i, 0) = y_all(src, 0);
+      }
+
+      Mlp::Cache cache;
+      const Matrix pred = net.forward(xb, &cache);
+      Matrix dLdy(bs, 1);
+      double loss = 0.0;
+      for (std::size_t i = 0; i < bs; ++i) {
+        const float d = pred(i, 0) - yb(i, 0);
+        loss += static_cast<double>(d) * d;
+        dLdy(i, 0) = 2.0f * d / static_cast<float>(bs);
+      }
+      epoch_loss += loss / static_cast<double>(bs);
+      ++batches;
+
+      net.backward(cache, dLdy, dW, db);
+      std::vector<Matrix*> params;
+      std::vector<const Matrix*> grads;
+      for (std::size_t l = 0; l < net.num_layers(); ++l) {
+        params.push_back(&net.weights()[l]);
+        grads.push_back(&dW[l]);
+        params.push_back(&net.biases()[l]);
+        grads.push_back(&db[l]);
+      }
+      adam.step(params, grads);
+    }
+
+    if (config.on_epoch) {
+      config.on_epoch(epoch, epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1)));
+    }
+  }
+}
+
+}  // namespace
 
 Regressor train(const tuning::Dataset& train_data, const TrainConfig& config) {
   if (train_data.empty()) throw std::invalid_argument("train: empty dataset");
@@ -301,60 +371,34 @@ Regressor train(const tuning::Dataset& train_data, const TrainConfig& config) {
   }
 
   // ---- minibatch Adam ----
-  Adam adam(config.learning_rate);
-  Rng rng(config.seed ^ 0xABCD);
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-
-  const std::size_t batch = static_cast<std::size_t>(std::max(config.batch_size, 1));
-  std::vector<Matrix> dW, db;
-
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    rng.shuffle(order);
-    double epoch_loss = 0.0;
-    std::size_t batches = 0;
-
-    for (std::size_t start = 0; start < n; start += batch) {
-      const std::size_t end = std::min(n, start + batch);
-      const std::size_t bs = end - start;
-      Matrix xb(bs, tuning::kNumFeatures);
-      Matrix yb(bs, 1);
-      for (std::size_t i = 0; i < bs; ++i) {
-        const std::size_t src = order[start + i];
-        for (std::size_t c = 0; c < tuning::kNumFeatures; ++c) xb(i, c) = x_all(src, c);
-        yb(i, 0) = y_all(src, 0);
-      }
-
-      Mlp::Cache cache;
-      const Matrix pred = net.forward(xb, &cache);
-      Matrix dLdy(bs, 1);
-      double loss = 0.0;
-      for (std::size_t i = 0; i < bs; ++i) {
-        const float d = pred(i, 0) - yb(i, 0);
-        loss += static_cast<double>(d) * d;
-        dLdy(i, 0) = 2.0f * d / static_cast<float>(bs);
-      }
-      epoch_loss += loss / static_cast<double>(bs);
-      ++batches;
-
-      net.backward(cache, dLdy, dW, db);
-      std::vector<Matrix*> params;
-      std::vector<const Matrix*> grads;
-      for (std::size_t l = 0; l < net.num_layers(); ++l) {
-        params.push_back(&net.weights()[l]);
-        grads.push_back(&dW[l]);
-        params.push_back(&net.biases()[l]);
-        grads.push_back(&db[l]);
-      }
-      adam.step(params, grads);
-    }
-
-    if (config.on_epoch) {
-      config.on_epoch(epoch, epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1)));
-    }
-  }
+  fit_minibatch(net, x_all, y_all, config);
 
   return Regressor(std::move(net), std::move(scaler), y_mean, y_std, config.log_features);
+}
+
+Regressor train_warm_start(const Regressor& base, const tuning::Dataset& delta,
+                           const TrainConfig& config) {
+  if (delta.empty()) throw std::invalid_argument("train_warm_start: empty dataset");
+  const std::size_t arity = base.num_features();
+
+  // ---- encode with base's frozen preprocessing ----
+  const Scaler& scaler = base.feature_scaler();
+  const std::size_t n = delta.size();
+  Matrix x_all(n, arity);
+  Matrix y_all(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row = preprocess(delta[i].x, base.log_features());
+    scaler.apply(row);  // throws on arity mismatch with the base model
+    for (std::size_t c = 0; c < arity; ++c) x_all(i, c) = static_cast<float>(row[c]);
+    const double target = std::log(std::max(delta[i].y, 1e-6));
+    y_all(i, 0) = static_cast<float>((target - base.y_mean()) / base.y_std());
+  }
+
+  // ---- resume the optimizer from the copied network ----
+  Mlp net = base.net();
+  fit_minibatch(net, x_all, y_all, config);
+
+  return Regressor(std::move(net), scaler, base.y_mean(), base.y_std(), base.log_features());
 }
 
 }  // namespace isaac::mlp

@@ -75,13 +75,21 @@ class Regressor {
   /// Number of raw features one candidate row carries.
   std::size_t num_features() const noexcept { return feature_scaler_.mean.size(); }
 
+  /// Frozen preprocessing statistics — the encode a warm-started successor
+  /// must reuse so old and new versions score candidates on the same scale.
+  const Scaler& feature_scaler() const noexcept { return feature_scaler_; }
+  double y_mean() const noexcept { return y_mean_; }
+  double y_std() const noexcept { return y_std_; }
+
   /// MSE in standardized log-target units over a dataset (Table 2 metric).
   double mse(const tuning::Dataset& data) const;
 
   const Mlp& net() const noexcept { return net_; }
   bool log_features() const noexcept { return log_features_; }
 
-  /// Model serialization (text format) for the profile cache.
+  /// Model serialization (text format). Weights and statistics are written
+  /// with max_digits10 precision, so save/load round-trips bit-identically:
+  /// a loaded model's predictions equal the in-memory original's exactly.
   void save(std::ostream& os) const;
   static Regressor load(std::istream& is);
 
@@ -106,5 +114,17 @@ class Regressor {
 
 /// Train on `train_data`, reporting per-epoch progress via config.on_epoch.
 Regressor train(const tuning::Dataset& train_data, const TrainConfig& config);
+
+/// Warm-start training: resume from `base`'s weights on an appended dataset
+/// instead of fitting from scratch. The §5.2 preprocessing is *frozen* —
+/// base's Scaler, target statistics, and log-feature setting are reused
+/// unchanged (config.net / config.log_features are ignored) — so the copied
+/// weights stay meaningful and predictions from consecutive versions live on
+/// one encode. Only the optimizer runs: minibatch Adam for config.epochs over
+/// `delta` starting from the copied network. This is the online retrainer's
+/// primitive: `delta` is the folded observation log, typically small, and the
+/// result is the successor model version.
+Regressor train_warm_start(const Regressor& base, const tuning::Dataset& delta,
+                           const TrainConfig& config);
 
 }  // namespace isaac::mlp

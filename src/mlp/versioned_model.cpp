@@ -1,0 +1,67 @@
+#include "mlp/versioned_model.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace isaac::mlp {
+
+namespace {
+
+/// Provenance sources are written as bare tokens and read back with >>, so
+/// whitespace inside one would shear the record.
+std::string sanitize_token(std::string token) {
+  if (token.empty()) return "unknown";
+  for (char& c : token) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return token;
+}
+
+}  // namespace
+
+VersionedModel::VersionedModel(Regressor regressor, std::uint64_t version,
+                               TrainProvenance provenance)
+    : regressor_(std::move(regressor)), version_(version), provenance_(std::move(provenance)) {
+  if (version_ == 0) {
+    throw std::invalid_argument("VersionedModel: version ids start at 1");
+  }
+  provenance_.source = sanitize_token(std::move(provenance_.source));
+}
+
+void VersionedModel::save(std::ostream& os) const {
+  os << "isaac-versioned-model v1\n";
+  os << "version " << version_ << "\n";
+  os << "source " << provenance_.source << "\n";
+  os << "parent " << provenance_.parent_version << "\n";
+  os << "samples " << provenance_.samples << "\n";
+  os << "epochs " << provenance_.epochs << "\n";
+  regressor_.save(os);
+}
+
+VersionedModel VersionedModel::load(std::istream& is) {
+  std::string tag, version_tag;
+  is >> tag >> version_tag;
+  if (tag != "isaac-versioned-model" || version_tag != "v1") {
+    throw std::runtime_error("VersionedModel::load: bad header");
+  }
+  std::string key;
+  std::uint64_t version = 0;
+  TrainProvenance prov;
+  is >> key >> version;
+  if (key != "version") throw std::runtime_error("VersionedModel::load: missing version");
+  is >> key >> prov.source;
+  if (key != "source") throw std::runtime_error("VersionedModel::load: missing source");
+  is >> key >> prov.parent_version;
+  if (key != "parent") throw std::runtime_error("VersionedModel::load: missing parent");
+  is >> key >> prov.samples;
+  if (key != "samples") throw std::runtime_error("VersionedModel::load: missing samples");
+  is >> key >> prov.epochs;
+  if (key != "epochs") throw std::runtime_error("VersionedModel::load: missing epochs");
+  if (!is) throw std::runtime_error("VersionedModel::load: truncated stream");
+  Regressor regressor = Regressor::load(is);
+  return VersionedModel(std::move(regressor), version, std::move(prov));
+}
+
+}  // namespace isaac::mlp

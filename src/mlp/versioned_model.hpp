@@ -1,0 +1,51 @@
+// VersionedModel: the Regressor as a first-class, immutable model artifact.
+//
+// The online model lifecycle (DESIGN.md, "Online model lifecycle") hot-swaps
+// models while dispatch threads are mid-ranking, so the unit of exchange is
+// an immutable (Regressor, version, provenance) triple shared by pointer:
+// readers pin one snapshot per operation and never observe a torn model, and
+// every observation / cache record can name the exact version that produced
+// it. Versions are monotonic per lineage — the producer (Context::set_model,
+// the warm-start retrainer) assigns parent.version() + 1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "mlp/regressor.hpp"
+
+namespace isaac::mlp {
+
+/// How a model version came to be. `source` is a single whitespace-free
+/// token ("offline", "install", "warm_start", "load"); the numeric fields
+/// describe the training run that produced this version (zero when unknown,
+/// e.g. for externally installed models).
+struct TrainProvenance {
+  std::string source = "install";
+  std::uint64_t parent_version = 0;  // 0 = no predecessor
+  std::uint64_t samples = 0;         // training rows this version saw
+  int epochs = 0;
+};
+
+class VersionedModel {
+ public:
+  VersionedModel(Regressor regressor, std::uint64_t version, TrainProvenance provenance = {});
+
+  const Regressor& regressor() const noexcept { return regressor_; }
+  std::uint64_t version() const noexcept { return version_; }
+  const TrainProvenance& provenance() const noexcept { return provenance_; }
+
+  /// Text serialization: a versioned header + provenance block wrapping the
+  /// Regressor's own format, so one artifact round-trips the weights, the
+  /// Scaler statistics, and the lifecycle metadata together.
+  void save(std::ostream& os) const;
+  static VersionedModel load(std::istream& is);
+
+ private:
+  Regressor regressor_;
+  std::uint64_t version_;
+  TrainProvenance provenance_;
+};
+
+}  // namespace isaac::mlp

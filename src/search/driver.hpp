@@ -38,6 +38,13 @@ namespace isaac::search {
 /// lowest-index failure, so equal runs fail identically); results of the
 /// failing batch never reach `observe`/`sink`, keeping anytime state
 /// consistent with what the caller was told.
+///
+/// Model lifetime: any model the strategy's problem references must stay
+/// alive and unchanged for the whole drive() — under the online model
+/// lifecycle (DESIGN.md) the caller pins one Context::model_snapshot() per
+/// search, which also keeps the search.measure results (the sink's
+/// (proposal, gflops) stream, surfaced as TuneResult::top) attributable to
+/// exactly one model version in the observation log.
 template <typename Op, typename MeasureFn, typename SinkFn>
 std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const MeasureFn& measure,
                   const SinkFn& sink) {

@@ -284,6 +284,10 @@ std::shared_ptr<const std::vector<std::uint64_t>> structural_skeleton(
 /// best-first top k (predicted GFLOPS, deterministic choice tie-break).
 /// Featurization writes in place into one flat batch; scoring reuses
 /// per-thread forward workspaces — no per-candidate allocations.
+/// problem.model is read for the whole pass, so under hot-swappable models
+/// the caller must pin one snapshot per ranking (Context::model_snapshot());
+/// the whole order then reflects a single model version, never a mid-swap
+/// mixture.
 template <typename Op>
 void score_and_order(const SearchProblem<Op>& problem, const SearchConfig& config,
                      std::size_t top_k, RankedCandidates<Op>& out) {

@@ -90,7 +90,10 @@ struct SearchProblem {
   const gpusim::DeviceDescriptor* device = nullptr;
   const Space* space = nullptr;
   /// Optional: model-guided strategies require it, measurement-driven ones
-  /// (random/genetic/annealing/exhaustive) ignore it.
+  /// (random/genetic/annealing/exhaustive) ignore it. Non-owning: the model
+  /// must outlive the search — callers dispatching against a hot-swappable
+  /// Context pin one model_snapshot() for the whole search and pass its
+  /// regressor here, so the ranking is internally consistent across swaps.
   const mlp::Regressor* model = nullptr;
 
   Tuning decode(const Choice& c) const { return space->decode(c); }

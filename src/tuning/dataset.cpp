@@ -1,5 +1,7 @@
 #include "tuning/dataset.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -84,11 +86,44 @@ void Dataset::save_csv(std::ostream& os) const {
   }
 }
 
+namespace {
+
+/// Strict full-token numeric parse: std::stod would silently accept a junk
+/// suffix ("1.5abc" → 1.5) and throw a context-free std::invalid_argument on
+/// garbage; a half-parsed dataset row must instead fail loudly with where
+/// and what.
+double parse_csv_field(const std::string& token, std::size_t line_no, std::size_t column) {
+  const std::string t = strings::trim(token);
+  if (t.empty()) {
+    throw std::runtime_error(
+        strings::format("Dataset::load_csv: line %zu, column %zu: empty field", line_no, column));
+  }
+  double value = 0.0;
+  const char* begin = t.data();
+  const char* end = begin + t.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error(
+        strings::format("Dataset::load_csv: line %zu, column %zu: '%s' is not a number", line_no,
+                        column, t.c_str()));
+  }
+  if (!std::isfinite(value)) {
+    throw std::runtime_error(strings::format(
+        "Dataset::load_csv: line %zu, column %zu: non-finite value '%s'", line_no, column,
+        t.c_str()));
+  }
+  return value;
+}
+
+}  // namespace
+
 Dataset Dataset::load_csv(std::istream& is) {
   Dataset out;
   std::string line;
+  std::size_t line_no = 0;
   bool header = true;
   while (std::getline(is, line)) {
+    ++line_no;
     if (header) {
       header = false;
       continue;
@@ -96,12 +131,16 @@ Dataset Dataset::load_csv(std::istream& is) {
     if (strings::trim(line).empty()) continue;
     const auto parts = strings::split(line, ',');
     if (parts.size() != kNumFeatures + 1) {
-      throw std::runtime_error("Dataset::load_csv: malformed row: " + line);
+      throw std::runtime_error(strings::format(
+          "Dataset::load_csv: line %zu: expected %zu comma-separated fields, got %zu", line_no,
+          kNumFeatures + 1, parts.size()));
     }
     Sample s;
     s.x.reserve(kNumFeatures);
-    for (std::size_t i = 0; i < kNumFeatures; ++i) s.x.push_back(std::stod(parts[i]));
-    s.y = std::stod(parts.back());
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      s.x.push_back(parse_csv_field(parts[i], line_no, i + 1));
+    }
+    s.y = parse_csv_field(parts.back(), line_no, kNumFeatures + 1);
     out.add(std::move(s));
   }
   return out;

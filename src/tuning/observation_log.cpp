@@ -1,0 +1,182 @@
+#include "tuning/observation_log.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "telemetry/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define ISAAC_HAVE_FLOCK 1
+#endif
+
+namespace isaac::tuning {
+
+namespace {
+
+std::filesystem::path log_file(const std::string& directory) {
+  return std::filesystem::path(directory) / ObservationLog::filename();
+}
+
+/// One observation per line:
+///   op \t model_version \t predicted \t measured \t f0,f1,...,f14
+/// Numbers carry max_digits10 precision so a replayed log reproduces the
+/// exact doubles that were measured.
+std::string format_line(const Observation& obs) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << obs.op << '\t' << obs.model_version << '\t' << obs.predicted_gflops << '\t'
+     << obs.measured_gflops << '\t';
+  for (std::size_t i = 0; i < obs.features.size(); ++i) {
+    if (i) os << ',';
+    os << obs.features[i];
+  }
+  os << '\n';
+  return os.str();
+}
+
+bool parse_double(const std::string& token, double& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end && std::isfinite(out);
+}
+
+bool parse_line(const std::string& line, Observation& obs) {
+  const auto parts = strings::split(line, '\t');
+  if (parts.size() != 5 || parts[0].empty()) return false;
+  obs.op = parts[0];
+  {
+    const char* begin = parts[1].data();
+    const char* end = begin + parts[1].size();
+    const auto [ptr, ec] = std::from_chars(begin, end, obs.model_version);
+    if (ec != std::errc{} || ptr != end) return false;
+  }
+  if (!parse_double(parts[2], obs.predicted_gflops)) return false;
+  if (!parse_double(parts[3], obs.measured_gflops)) return false;
+  const auto fields = strings::split(parts[4], ',');
+  obs.features.clear();
+  obs.features.reserve(fields.size());
+  for (const auto& field : fields) {
+    double v = 0.0;
+    if (!parse_double(field, v)) return false;
+    obs.features.push_back(v);
+  }
+  return !obs.features.empty();
+}
+
+}  // namespace
+
+ObservationLog::ObservationLog(std::size_t capacity, std::string directory)
+    : capacity_(capacity == 0 ? 1 : capacity), directory_(std::move(directory)) {}
+
+void ObservationLog::append(Observation obs) {
+  append_to_disk(obs);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() >= capacity_) ring_.pop_front();
+    ring_.push_back(std::move(obs));
+    ++total_;
+  }
+  ISAAC_TM_COUNT("model.observations");
+}
+
+std::size_t ObservationLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t ObservationLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::vector<Observation> ObservationLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<Observation> ObservationLog::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Observation> out{std::make_move_iterator(ring_.begin()),
+                               std::make_move_iterator(ring_.end())};
+  ring_.clear();
+  return out;
+}
+
+Dataset ObservationLog::to_dataset(const std::vector<Observation>& observations) {
+  Dataset out;
+  for (const auto& obs : observations) {
+    if (obs.features.size() != kNumFeatures) continue;
+    if (!(obs.measured_gflops > 0.0)) continue;
+    Sample s;
+    s.x = obs.features;
+    s.y = obs.measured_gflops;
+    out.add(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Observation> ObservationLog::load(std::istream& is) {
+  std::vector<Observation> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (strings::trim(line).empty()) continue;
+    Observation obs;
+    if (parse_line(line, obs)) {
+      out.push_back(std::move(obs));
+    } else {
+      ISAAC_LOG_WARN() << "observation log: skipping malformed line: " << line;
+    }
+  }
+  return out;
+}
+
+void ObservationLog::append_to_disk(const Observation& obs) const {
+  if (directory_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  const std::filesystem::path file = log_file(directory_);
+  const std::string line = format_line(obs);
+#if ISAAC_HAVE_FLOCK
+  // Exclusive-flocked O_APPEND write of the whole line in one syscall, so
+  // concurrent writers (threads or separate processes) cannot tear it.
+  const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    ISAAC_LOG_WARN() << "observation log: cannot write " << file.string();
+    return;
+  }
+  if (::flock(fd, LOCK_EX) == 0) {
+    std::size_t written = 0;
+    while (written < line.size()) {
+      const ssize_t n = ::write(fd, line.data() + written, line.size() - written);
+      if (n <= 0) {
+        ISAAC_LOG_WARN() << "observation log: short write to " << file.string();
+        break;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    ::flock(fd, LOCK_UN);
+  }
+  ::close(fd);
+#else
+  std::ofstream os(file, std::ios::app);
+  if (!os) {
+    ISAAC_LOG_WARN() << "observation log: cannot write " << file.string();
+    return;
+  }
+  os << line;
+#endif
+}
+
+}  // namespace isaac::tuning

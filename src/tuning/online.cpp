@@ -1,0 +1,98 @@
+#include "tuning/online.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace isaac::tuning {
+
+DriftDetector::DriftDetector(DriftConfig config) : config_(std::move(config)) {
+  if (config_.window == 0) config_.window = 1;
+  if (config_.min_observations == 0) config_.min_observations = 1;
+  if (config_.min_observations > config_.window) config_.min_observations = config_.window;
+}
+
+bool DriftDetector::observe(std::string_view op, double predicted_gflops,
+                            double measured_gflops) {
+  if (!(measured_gflops > 0.0) || !(predicted_gflops > 0.0)) return false;
+  const double rel = std::abs(predicted_gflops - measured_gflops) / measured_gflops;
+
+  // Observability mirror: the aggregate and per-op error distributions land
+  // in the PR 7 histogram registry. The names are dynamic (one per op), so
+  // this goes through histogram() directly instead of the static-ref macro.
+  if (telemetry::enabled()) {
+    telemetry::histogram("model.rel_err_pct").record(rel * 100.0);
+    telemetry::histogram(std::string("model.rel_err_pct.") += op).record(rel * 100.0);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = per_op_.find(op);
+  if (it == per_op_.end()) {
+    it = per_op_.emplace(std::string(op), Window{}).first;
+    it->second.errors.assign(config_.window, 0.0);
+  }
+  Window& w = it->second;
+  w.errors[w.next] = rel;
+  w.next = (w.next + 1) % config_.window;
+  if (w.filled < config_.window) ++w.filled;
+
+  if (w.filled < config_.min_observations) return false;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.filled; ++i) sum += w.errors[i];
+  const double mean = sum / static_cast<double>(w.filled);
+  if (mean < config_.threshold) return false;
+
+  // Tripped: re-arm with an empty window so the next trip requires fresh
+  // post-trip evidence instead of re-firing on the same stale samples.
+  w.next = 0;
+  w.filled = 0;
+  return true;
+}
+
+double DriftDetector::mean_rel_error(std::string_view op) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = per_op_.find(op);
+  if (it == per_op_.end() || it->second.filled == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < it->second.filled; ++i) sum += it->second.errors[i];
+  return sum / static_cast<double>(it->second.filled);
+}
+
+void DriftDetector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  per_op_.clear();
+}
+
+Retrainer::Retrainer(RetrainConfig config) : config_(std::move(config)) {}
+
+mlp::VersionedModel Retrainer::retrain(const mlp::VersionedModel& base,
+                                       const std::vector<Observation>& observations) const {
+  const Dataset delta = ObservationLog::to_dataset(observations);
+  if (delta.size() < config_.min_observations) {
+    throw std::invalid_argument(
+        strings::format("Retrainer: %zu usable observations, need at least %zu", delta.size(),
+                        config_.min_observations));
+  }
+
+  mlp::TrainConfig train_cfg;
+  train_cfg.epochs = config_.epochs;
+  train_cfg.batch_size = config_.batch_size;
+  train_cfg.learning_rate = config_.learning_rate;
+  // Seeded from the version so successive retrains shuffle differently but
+  // any given (base version, log) fold is reproducible.
+  train_cfg.seed = 0x0911E ^ base.version();
+
+  mlp::Regressor next = mlp::train_warm_start(base.regressor(), delta, train_cfg);
+
+  mlp::TrainProvenance prov;
+  prov.source = "warm_start";
+  prov.parent_version = base.version();
+  prov.samples = delta.size();
+  prov.epochs = config_.epochs;
+  return mlp::VersionedModel(std::move(next), base.version() + 1, std::move(prov));
+}
+
+}  // namespace isaac::tuning

@@ -1,0 +1,100 @@
+// Online model lifecycle primitives: drift detection and warm-start
+// retraining (DESIGN.md, "Online model lifecycle").
+//
+// DriftDetector keeps a rolling per-op window of the model-vs-measured
+// relative error |predicted − measured| / measured. When a window holds
+// enough samples and its mean error crosses the threshold, the detector
+// trips once and re-arms with a fresh window — the caller (Context) turns a
+// trip into a scheduled retrain. Every error sample is mirrored into the
+// telemetry histograms `model.rel_err_pct` and `model.rel_err_pct.<op>`
+// (PR 7 infrastructure) for observability; the trip decision itself runs on
+// the detector's own window so it works with telemetry disabled.
+//
+// Retrainer is the fold step: observations → Dataset →
+// mlp::train_warm_start → the successor VersionedModel (version + 1,
+// provenance "warm_start"). It is deliberately free of scheduling — the
+// caller decides when and on which thread to run it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mlp/versioned_model.hpp"
+#include "tuning/observation_log.hpp"
+
+namespace isaac::tuning {
+
+struct DriftConfig {
+  /// Mean relative error over a window that trips retraining. 0.35 means the
+  /// model is off by 35% on average — far beyond measurement noise, squarely
+  /// "the device changed under us".
+  double threshold = 0.35;
+  std::size_t window = 32;            // rolling samples per op
+  std::size_t min_observations = 16;  // no trip before a window holds this many
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftConfig config = {});
+
+  /// Record one (predicted, measured) pair for `op`. Returns true when this
+  /// sample trips the detector; the tripped op's window resets so the next
+  /// trip needs fresh post-trip evidence.
+  bool observe(std::string_view op, double predicted_gflops, double measured_gflops);
+
+  /// Mean relative error of `op`'s current window (0 when empty).
+  double mean_rel_error(std::string_view op) const;
+
+  /// Forget every window — called after a hot swap so the successor model is
+  /// judged only on its own predictions.
+  void reset();
+
+  const DriftConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Window {
+    std::vector<double> errors;  // ring of the last `window` rel errors
+    std::size_t next = 0;
+    std::size_t filled = 0;
+  };
+
+  DriftConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Window, std::less<>> per_op_;
+};
+
+struct RetrainConfig {
+  /// Don't fold fewer observations than this into a retrain — a handful of
+  /// samples would overfit the successor to one shape.
+  std::size_t min_observations = 48;
+  /// Warm-start optimizer settings. The delta dataset is small (a bounded
+  /// log, not the offline corpus), so more epochs with a smaller batch and a
+  /// hotter learning rate than offline training.
+  int epochs = 30;
+  int batch_size = 32;
+  double learning_rate = 2e-3;
+};
+
+class Retrainer {
+ public:
+  explicit Retrainer(RetrainConfig config = {});
+
+  const RetrainConfig& config() const noexcept { return config_; }
+
+  /// Fold `observations` into a dataset and warm-start-train `base`'s
+  /// successor: version + 1, provenance source "warm_start". Throws
+  /// std::invalid_argument when fewer than min_observations usable records
+  /// survive the fold. Pure compute — safe to run on any thread while `base`
+  /// keeps serving.
+  mlp::VersionedModel retrain(const mlp::VersionedModel& base,
+                              const std::vector<Observation>& observations) const;
+
+ private:
+  RetrainConfig config_;
+};
+
+}  // namespace isaac::tuning

@@ -424,5 +424,55 @@ TEST(ConcurrentDispatch, TuningFailurePropagatesToAllWaiters) {
   EXPECT_THROW(ctx.select<GemmOp>(shape), std::runtime_error);
 }
 
+TEST(ConcurrentDispatch, HotSwapDuringDispatchIsRaceFree) {
+  // The latent set_model() race this PR closes: swapping the model while
+  // readers rank with it used to hand dispatchers a reference into an object
+  // being destroyed. Under the snapshot API every reader pins one
+  // shared_ptr<const VersionedModel> per operation, so a writer thread
+  // hammering set_model() while kThreads dispatch cold shapes must be clean
+  // under TSan and never wrong: each select still returns a legal tuning.
+  Context ctx(gpusim::tesla_p100(), fast_options());
+  ctx.set_model(shared_model());
+  const std::uint64_t first_version = ctx.model_snapshot()->version();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> swaps{0};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      ctx.set_model(mlp::Regressor(shared_model()));  // fresh copy each swap
+      swaps.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  const auto shapes = stress_shapes();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int it = 0; it < 16; ++it) {
+        const auto& shape = shapes[(t + it) % shapes.size()];
+        const auto tuning = ctx.select<GemmOp>(shape);
+        if (!codegen::validate(shape, tuning, ctx.device())) failures.fetch_add(1);
+        // Pinned snapshots stay valid even while the writer churns versions.
+        const auto snap = ctx.model_snapshot();
+        if (!snap || snap->version() < first_version) failures.fetch_add(1);
+        (void)snap->regressor().num_features();
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  writer.join();
+  ctx.drain_background();  // refinements pinned their own snapshots; all land
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(swaps.load(), 0);
+  // Every install bumped the monotonic version; swaps of a live model count.
+  EXPECT_EQ(ctx.model_snapshot()->version(),
+            first_version + static_cast<std::uint64_t>(swaps.load()));
+  EXPECT_EQ(ctx.model_swaps(), static_cast<std::size_t>(swaps.load()));
+}
+
 }  // namespace
 }  // namespace isaac::core

@@ -10,6 +10,7 @@
 #include "mlp/net.hpp"
 #include "mlp/regressor.hpp"
 #include "tuning/dataset.hpp"
+#include "tuning/feature_batch.hpp"
 
 namespace isaac::mlp {
 namespace {
@@ -336,6 +337,112 @@ TEST(Regressor, SaveLoadRoundTrip) {
     EXPECT_NEAR(back.predict_gflops(x), model.predict_gflops(x),
                 1e-4 * std::abs(model.predict_gflops(x)));
   }
+}
+
+TEST(Regressor, SaveLoadRoundTripIsBitIdentical) {
+  // The serialized artifact is the unit of model exchange in the online
+  // lifecycle, so a loaded model must not merely approximate the original —
+  // every prediction must be the exact same double, through both the legacy
+  // rows path and the flat FeatureBatch hot path.
+  auto data = synthetic_dataset(800, 0.05, 21);
+  TrainConfig cfg;
+  cfg.net.hidden = {24, 16};
+  cfg.epochs = 5;
+  cfg.seed = 77;
+  const Regressor model = train(data, cfg);
+
+  std::stringstream ss;
+  model.save(ss);
+  const Regressor back = Regressor::load(ss);
+
+  // Scaler statistics and target scale survive exactly.
+  ASSERT_EQ(back.num_features(), model.num_features());
+  for (std::size_t f = 0; f < model.num_features(); ++f) {
+    EXPECT_EQ(back.feature_scaler().mean[f], model.feature_scaler().mean[f]);
+    EXPECT_EQ(back.feature_scaler().stddev[f], model.feature_scaler().stddev[f]);
+  }
+  EXPECT_EQ(back.y_mean(), model.y_mean());
+  EXPECT_EQ(back.y_std(), model.y_std());
+  EXPECT_EQ(back.log_features(), model.log_features());
+
+  std::vector<std::vector<double>> rows;
+  tuning::FeatureBatch batch(tuning::kNumFeatures);
+  for (std::size_t i = 0; i < 64; ++i) {
+    rows.push_back(data[i].x);
+    double* dst = batch.append_row();
+    for (std::size_t c = 0; c < tuning::kNumFeatures; ++c) dst[c] = data[i].x[c];
+  }
+
+  const auto expected_rows = model.predict_gflops_chunked(rows, 16);
+  const auto loaded_rows = back.predict_gflops_chunked(rows, 16);
+  const auto expected_flat = model.predict_gflops_chunked(batch, 16);
+  const auto loaded_flat = back.predict_gflops_chunked(batch, 16);
+  ASSERT_EQ(loaded_rows.size(), expected_rows.size());
+  ASSERT_EQ(loaded_flat.size(), expected_flat.size());
+  for (std::size_t i = 0; i < expected_rows.size(); ++i) {
+    EXPECT_EQ(loaded_rows[i], expected_rows[i]) << "rows path diverged at " << i;
+    EXPECT_EQ(loaded_flat[i], expected_flat[i]) << "flat path diverged at " << i;
+  }
+}
+
+TEST(Regressor, WarmStartKeepsEncodingAndImprovesOnShiftedData) {
+  // Base model fits the synthetic law; the "device" then halves: same
+  // features, targets scaled by 0.5. Warm-start training on the shifted
+  // delta must (a) freeze the preprocessing so both versions share one
+  // encode, and (b) cut the prediction error on the shifted distribution.
+  auto base_data = synthetic_dataset(2000, 0.02, 31);
+  TrainConfig cfg;
+  cfg.net.hidden = {32, 16};
+  cfg.epochs = 10;
+  cfg.seed = 5;
+  const Regressor base = train(base_data, cfg);
+
+  tuning::Dataset shifted;
+  auto delta_source = synthetic_dataset(400, 0.02, 37);
+  for (const auto& s : delta_source.samples()) {
+    tuning::Sample d = s;
+    d.y *= 0.5;
+    shifted.add(std::move(d));
+  }
+
+  TrainConfig warm_cfg;
+  warm_cfg.epochs = 30;
+  warm_cfg.batch_size = 32;
+  warm_cfg.learning_rate = 2e-3;
+  warm_cfg.seed = 11;
+  const Regressor warmed = train_warm_start(base, shifted, warm_cfg);
+
+  // Frozen preprocessing: identical scaler and target statistics.
+  for (std::size_t f = 0; f < base.num_features(); ++f) {
+    EXPECT_EQ(warmed.feature_scaler().mean[f], base.feature_scaler().mean[f]);
+    EXPECT_EQ(warmed.feature_scaler().stddev[f], base.feature_scaler().stddev[f]);
+  }
+  EXPECT_EQ(warmed.y_mean(), base.y_mean());
+  EXPECT_EQ(warmed.y_std(), base.y_std());
+
+  // Error on the shifted distribution: the stale model over-predicts ~2×,
+  // the warmed one should track it far better.
+  auto mean_rel_error = [&](const Regressor& m) {
+    double acc = 0.0;
+    for (const auto& s : shifted.samples()) {
+      acc += std::abs(m.predict_gflops(s.x) - s.y) / s.y;
+    }
+    return acc / static_cast<double>(shifted.size());
+  };
+  const double stale = mean_rel_error(base);
+  const double fresh = mean_rel_error(warmed);
+  EXPECT_GT(stale, 0.5);           // the shift is real
+  EXPECT_LT(fresh, stale * 0.5);   // warm start recovered ≥2×
+}
+
+TEST(Regressor, WarmStartOnEmptyDeltaThrows) {
+  auto data = synthetic_dataset(400, 0.05, 19);
+  TrainConfig cfg;
+  cfg.net.hidden = {8};
+  cfg.epochs = 2;
+  const Regressor base = train(data, cfg);
+  tuning::Dataset empty;
+  EXPECT_THROW(train_warm_start(base, empty, TrainConfig{}), std::invalid_argument);
 }
 
 TEST(Regressor, LoadRejectsGarbage) {

@@ -310,6 +310,87 @@ TEST(Dataset, CsvRoundTrip) {
   }
 }
 
+namespace {
+
+// One valid CSV body (header + single row) to perturb in the hardening tests.
+std::string valid_csv_text() {
+  Dataset d;
+  Sample s;
+  s.x.assign(kNumFeatures, 2.0);
+  s.y = 123.0;
+  d.add(s);
+  std::stringstream ss;
+  d.save_csv(ss);
+  return ss.str();
+}
+
+std::string load_csv_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    Dataset::load_csv(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+}  // namespace
+
+TEST(Dataset, LoadCsvRejectsTruncatedRowWithLineNumber) {
+  // Drop the last two fields of the data row (line 2).
+  std::string text = valid_csv_text();
+  std::stringstream in(text);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  row = row.substr(0, row.rfind(',', row.rfind(',') - 1));
+  const std::string err = load_csv_error(header + "\n" + row + "\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("expected 16"), std::string::npos) << err;
+  EXPECT_NE(err.find("got 14"), std::string::npos) << err;
+}
+
+TEST(Dataset, LoadCsvRejectsJunkTokenWithPosition) {
+  // std::stod would have parsed "12x4" as 12; from_chars must reject it and
+  // say where it sits.
+  std::string text = valid_csv_text();
+  const std::size_t pos = text.find("2,", text.find('\n'));  // first data field
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 1, "12x4");
+  const std::string err = load_csv_error(text);
+  EXPECT_NE(err.find("'12x4' is not a number"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Dataset, LoadCsvRejectsEmptyField) {
+  std::string header = valid_csv_text().substr(0, valid_csv_text().find('\n') + 1);
+  std::string row;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) row += "1,";
+  row += "\n";  // empty y field
+  const std::string err = load_csv_error(header + row);
+  EXPECT_NE(err.find("empty field"), std::string::npos) << err;
+  EXPECT_NE(err.find("column 16"), std::string::npos) << err;
+}
+
+TEST(Dataset, LoadCsvRejectsNonFiniteValue) {
+  std::string text = valid_csv_text();
+  const std::size_t pos = text.find("123");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "inf");
+  const std::string err = load_csv_error(text);
+  EXPECT_NE(err.find("non-finite value 'inf'"), std::string::npos) << err;
+}
+
+TEST(Dataset, LoadCsvSkipsBlankLinesAndKeepsLineNumbersHonest) {
+  // A blank line between rows is ignored, but the error for a later bad row
+  // still reports its real (file) line number.
+  const std::string text = valid_csv_text();
+  const std::string header = text.substr(0, text.find('\n') + 1);
+  const std::string row = text.substr(text.find('\n') + 1);
+  const std::string err = load_csv_error(header + "\n" + row + "junk\n");
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+}
+
 TEST(Dataset, ShuffleIsSeedDeterministic) {
   Dataset d;
   for (int i = 0; i < 50; ++i) {
