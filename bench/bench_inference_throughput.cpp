@@ -33,6 +33,12 @@
 // trip / retrain / hot-swap counts, the stale-vs-fresh error improvement,
 // and hot select() p99 with a retrain active vs idle — stdout JSON lines
 // plus BENCH_online_learning.json for the CI artifact.
+//
+// Chaos mode: `--chaos` replays a Zipf shape stream fault-free, under a
+// failpoint storm across every fault domain, and through recovery — asserting
+// that no exception escapes select(), storm p99 stays bounded, and the cache
+// converges back to refined entries once faults clear (DESIGN.md, "Failure
+// domains"). Emits BENCH_chaos.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -40,9 +46,11 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codegen/gemm.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
@@ -440,6 +448,229 @@ int run_online_learning() {
   if (std::FILE* f = std::fopen("BENCH_online_learning.json", "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ chaos --
+
+/// Zipf-shaped index stream over a pool of `k` shapes: rank r drawn with
+/// probability ∝ 1/(r+1) — a few hot shapes dominate, the tail stays cold.
+std::vector<std::size_t> zipf_stream(std::size_t k, std::size_t n, std::uint64_t seed) {
+  std::vector<double> cum(k);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += 1.0 / static_cast<double>(i + 1);
+    cum[i] = acc;
+  }
+  Rng rng(seed);
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform(0.0, acc);
+    out.push_back(static_cast<std::size_t>(
+        std::lower_bound(cum.begin(), cum.end(), u) - cum.begin()));
+  }
+  return out;
+}
+
+/// `pool_id` keys distinct shape pools: baseline and storm must not share
+/// cache entries, or the storm would run entirely on baseline-warmed hits.
+std::vector<codegen::GemmShape> chaos_pool(std::size_t k, std::int64_t pool_id) {
+  std::vector<codegen::GemmShape> pool;
+  pool.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    codegen::GemmShape s;
+    s.m = 32 + 16 * static_cast<std::int64_t>(i % 8);
+    s.n = 16 + 8 * static_cast<std::int64_t>(i / 8);
+    s.k = s.m + s.n + 64 * pool_id;
+    pool.push_back(s);
+  }
+  return pool;
+}
+
+const char* breaker_state_name(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::closed: return "closed";
+    case CircuitBreaker::State::open: return "open";
+    case CircuitBreaker::State::half_open: return "half_open";
+  }
+  return "unknown";
+}
+
+struct ChaosReplay {
+  std::vector<double> select_us;
+  std::size_t escapes = 0;  ///< exceptions that escaped select() — must be 0
+};
+
+ChaosReplay chaos_replay(core::Context& ctx, const std::vector<codegen::GemmShape>& pool,
+                         const std::vector<std::size_t>& stream) {
+  using Clock = std::chrono::steady_clock;
+  ChaosReplay out;
+  out.select_us.reserve(stream.size());
+  for (const std::size_t idx : stream) {
+    const auto t0 = Clock::now();
+    try {
+      ctx.select<core::GemmOp>(pool[idx]);
+    } catch (...) {
+      ++out.escapes;
+    }
+    out.select_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+  }
+  return out;
+}
+
+/// Chaos mode: `--chaos` replays a Zipf shape stream through the two-tier
+/// dispatch runtime three times — fault-free baseline, then under a fault
+/// storm (every failpoint domain armed probabilistically: device measurement,
+/// model prediction, hung refinements, cache and observation-log disk writes,
+/// retraining), then with the faults cleared — and asserts the hardening
+/// contract: zero exceptions escape select() during the storm, storm-time
+/// select p99 stays within 2× the fault-free baseline (with a 10 ms floor
+/// for sub-millisecond baselines on noisy runners), and once the faults
+/// clear the cache converges back to all-refined entries with the circuit
+/// breaker closed. JSON lines on stdout, mirrored to BENCH_chaos.json.
+int run_chaos() {
+  const auto& m = model();
+
+  core::ContextOptions opts = dispatch_options();
+  opts.online.enabled = true;
+  opts.online.drift.threshold = 1e9;  // retrains via cadence, not drift
+  opts.online.retrain_every = 128;
+  opts.online.retrain.min_observations = 64;
+  opts.online.retrain.epochs = 4;
+  opts.fault.refine_deadline_ms = 100.0;   // bound injected hangs
+  opts.fault.refine_max_pending = 8;       // admission control active
+  opts.fault.breaker_cooldown_ms = 100.0;
+  opts.fault.refine_retry_reset_ms = 200.0;  // forgive dropped keys quickly
+  opts.fault.disk_retry_ms = 50.0;
+  core::Context ctx(gpusim::tesla_p100(), opts);
+  ctx.set_model(m);
+
+  constexpr std::size_t kPool = 24;
+  constexpr std::size_t kStream = 400;
+  std::string json;
+  char line[768];
+  const auto emit_phase = [&](const char* phase, const ChaosReplay& r) {
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"chaos\",\"phase\":\"%s\",\"selects\":%zu,\"escapes\":%zu,"
+                  "\"p50_select_us\":%.1f,\"p99_select_us\":%.1f,\"max_select_us\":%.1f}\n",
+                  phase, r.select_us.size(), r.escapes, stats::percentile(r.select_us, 0.50),
+                  stats::percentile(r.select_us, 0.99),
+                  *std::max_element(r.select_us.begin(), r.select_us.end()));
+    std::fputs(line, stdout);
+    std::fflush(stdout);
+    json.append(line);
+  };
+
+  // Phase 1 — fault-free baseline on pool A.
+  const auto pool_a = chaos_pool(kPool, 0);
+  const auto baseline = chaos_replay(ctx, pool_a, zipf_stream(kPool, kStream, 17));
+  ctx.drain_background();
+  emit_phase("baseline", baseline);
+  const double p99_base = stats::percentile(baseline.select_us, 0.99);
+
+  // Phase 2 — the storm: every fault domain armed, fresh (cold) pool B so
+  // leaders, refinements, disk appends and retrains all run under fire.
+  failpoint::arm("measure.throw", "prob:0.15:1");
+  failpoint::arm("predict.throw", "prob:0.12:2");
+  failpoint::arm("refine.hang", "prob:0.12:3");
+  failpoint::arm("cache.write_fail", "prob:0.25:4");
+  failpoint::arm("obslog.write_fail", "prob:0.25:5");
+  failpoint::arm("retrain.throw", "prob:0.5:6");
+  const auto pool_b = chaos_pool(kPool, 1);
+  const auto storm = chaos_replay(ctx, pool_b, zipf_stream(kPool, kStream, 23));
+  ctx.drain_background();
+  emit_phase("storm", storm);
+  const double p99_storm = stats::percentile(storm.select_us, 0.99);
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"chaos\",\"phase\":\"storm_faults\",\"fallbacks_served\":%zu,"
+      "\"breaker_short_circuits\":%zu,\"refinements_shed\":%zu,\"refinements_dropped\":%zu,"
+      "\"cache_disk_writes_skipped\":%llu,\"obslog_disk_writes_skipped\":%llu,"
+      "\"breaker_state\":\"%s\"}\n",
+      ctx.fallbacks_served(), ctx.breaker_short_circuits(), ctx.refinements_shed(),
+      ctx.refinements_dropped(),
+      static_cast<unsigned long long>(ctx.cache().disk_writes_skipped()),
+      static_cast<unsigned long long>(ctx.observation_log().disk_writes_skipped()),
+      breaker_state_name(ctx.breaker_state("gemm")));
+  std::fputs(line, stdout);
+  std::fflush(stdout);
+  json.append(line);
+
+  // Phase 3 — recovery: faults clear; repeated hits must converge every
+  // storm-era entry (fallback or provisional) back to the refined tier and
+  // re-close the breaker. Each round re-arms what the previous round shed,
+  // dropped, or left behind an open breaker.
+  failpoint::disarm_all();
+  bool converged = false;
+  int rounds = 0;
+  ChaosReplay recovery;
+  for (; rounds < 40 && !converged; ++rounds) {
+    converged = true;
+    for (const auto& shape : pool_b) {
+      using Clock = std::chrono::steady_clock;
+      const auto t0 = Clock::now();
+      core::EntryTier tier = core::EntryTier::refined;
+      try {
+        ctx.select<core::GemmOp>(shape, nullptr, &tier);
+      } catch (...) {
+        ++recovery.escapes;
+      }
+      recovery.select_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+      converged = converged && tier == core::EntryTier::refined;
+    }
+    ctx.drain_background();
+    if (!converged) {
+      // Dropped keys sit behind the retry-reset window: give it time to
+      // forgive before the next round re-arms them.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  converged = converged && ctx.breaker_state("gemm") == CircuitBreaker::State::closed;
+  emit_phase("recovery", recovery);
+
+  const bool p99_ok = p99_storm <= std::max(2.0 * p99_base, p99_base + 10000.0);
+  const bool escapes_ok = storm.escapes == 0 && baseline.escapes == 0 && recovery.escapes == 0;
+  const bool disk_ok = !ctx.cache().disk_degraded() && !ctx.observation_log().disk_degraded();
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"chaos\",\"phase\":\"summary\",\"escapes\":%zu,\"p99_base_us\":%.1f,"
+      "\"p99_storm_us\":%.1f,\"p99_ratio\":%.2f,\"p99_ok\":%s,\"recovery_rounds\":%d,"
+      "\"converged\":%s,\"breaker_state\":\"%s\",\"disk_recovered\":%s}\n",
+      storm.escapes + baseline.escapes + recovery.escapes, p99_base, p99_storm,
+      p99_base > 0.0 ? p99_storm / p99_base : 0.0, p99_ok ? "true" : "false", rounds,
+      converged ? "true" : "false", breaker_state_name(ctx.breaker_state("gemm")),
+      disk_ok ? "true" : "false");
+  std::fputs(line, stdout);
+  std::fflush(stdout);
+  json.append(line);
+
+  if (std::FILE* f = std::fopen("BENCH_chaos.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+
+  if (!escapes_ok) {
+    std::fprintf(stderr, "[chaos] %zu exception(s) escaped select() — dispatch must never throw under faults\n",
+                 storm.escapes + baseline.escapes + recovery.escapes);
+    return 1;
+  }
+  if (!p99_ok) {
+    std::fprintf(stderr, "[chaos] storm select p99 %.1fus exceeds 2x baseline %.1fus\n",
+                 p99_storm, p99_base);
+    return 1;
+  }
+  if (!converged) {
+    std::fprintf(stderr, "[chaos] cache failed to converge to refined tier after %d recovery rounds (breaker %s)\n",
+                 rounds, breaker_state_name(ctx.breaker_state("gemm")));
+    return 1;
+  }
+  if (!disk_ok) {
+    std::fprintf(stderr, "[chaos] disk paths still degraded after faults cleared\n");
+    return 1;
   }
   return 0;
 }
@@ -980,6 +1211,7 @@ int main(int argc, char** argv) {
     if (std::string(args[i]) == "--dispatch_latency") return finish(run_dispatch_latency());
     if (std::string(args[i]) == "--rank_throughput") return finish(run_rank_throughput());
     if (std::string(args[i]) == "--online_learning") return finish(run_online_learning());
+    if (std::string(args[i]) == "--chaos") return finish(run_chaos());
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());

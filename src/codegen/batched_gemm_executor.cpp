@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "codegen/gemm_executor.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 
 namespace isaac::codegen {
@@ -32,6 +33,7 @@ void execute_impl(const BatchedGemmShape& shape, const GemmTuning& tuning, T alp
                   std::int64_t stride_b, T beta, T* c, std::int64_t ldc,
                   std::int64_t stride_c) {
   check_strides(shape, lda, stride_a, ldb, stride_b, ldc, stride_c);
+  ISAAC_FAILPOINT("execute.throw");
   for (std::int64_t i = 0; i < shape.batch; ++i) {
     execute_gemm(shape.gemm, tuning, alpha, a + i * stride_a, lda, b + i * stride_b, ldb, beta,
                  c + i * stride_c, ldc);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/thread_pool.hpp"
 
 namespace isaac::codegen {
@@ -72,6 +73,7 @@ std::int64_t output_index(const ConvShape& s, const RowIndex& row, std::int64_t 
 
 void execute_conv(const ConvShape& shape, const ConvTuning& tuning, float alpha,
                   const float* input, const float* filters, float beta, float* output) {
+  ISAAC_FAILPOINT("execute.throw");
   const GemmTuning gt = conv_gemm_tuning(tuning);
   const std::int64_t m = shape.npq();   // implicit rows
   const std::int64_t nk = shape.k;      // implicit cols

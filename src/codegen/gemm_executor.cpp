@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/thread_pool.hpp"
 
 namespace isaac::codegen {
@@ -178,12 +179,14 @@ void reference_impl(const GemmShape& shape, T alpha, const T* a, std::int64_t ld
 void execute_gemm(const GemmShape& shape, const GemmTuning& tuning, float alpha, const float* a,
                   std::int64_t lda, const float* b, std::int64_t ldb, float beta, float* c,
                   std::int64_t ldc) {
+  ISAAC_FAILPOINT("execute.throw");
   execute_impl(shape, tuning, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
 void execute_gemm(const GemmShape& shape, const GemmTuning& tuning, double alpha,
                   const double* a, std::int64_t lda, const double* b, std::int64_t ldb,
                   double beta, double* c, std::int64_t ldc) {
+  ISAAC_FAILPOINT("execute.throw");
   execute_impl(shape, tuning, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 

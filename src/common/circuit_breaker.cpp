@@ -1,0 +1,113 @@
+#include "common/circuit_breaker.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace isaac {
+
+namespace {
+
+void count_transition(const char* event, const std::string& name) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter(event).add(1);
+  if (!name.empty()) telemetry::counter(std::string(event) + "." + name).add(1);
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  if (config_.failure_threshold == 0) config_.failure_threshold = 1;
+  if (config_.cooldown_ms < 0.0) config_.cooldown_ms = 0.0;
+}
+
+std::uint64_t CircuitBreaker::now_us() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void CircuitBreaker::open_locked(std::uint64_t now) {
+  state_ = State::open;
+  opened_at_us_ = now;
+  trial_inflight_ = false;
+  ++opens_;
+  count_transition("breaker.opened", name_);
+  ISAAC_LOG_WARN() << "circuit breaker" << (name_.empty() ? "" : " ") << name_ << " opened after "
+                   << failures_ << " consecutive failures";
+}
+
+bool CircuitBreaker::allow_request() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::closed:
+      return true;
+    case State::open: {
+      const std::uint64_t now = now_us();
+      if (now - opened_at_us_ < static_cast<std::uint64_t>(config_.cooldown_ms * 1000.0)) {
+        return false;
+      }
+      // Cooldown over: this caller becomes the half-open trial.
+      state_ = State::half_open;
+      trial_inflight_ = true;
+      count_transition("breaker.half_open", name_);
+      return true;
+    }
+    case State::half_open:
+      // One trial at a time; everyone else keeps degrading until it reports.
+      if (trial_inflight_) return false;
+      trial_inflight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failures_ = 0;
+  trial_inflight_ = false;
+  if (state_ != State::closed) {
+    state_ = State::closed;
+    count_transition("breaker.closed", name_);
+    ISAAC_LOG_INFO() << "circuit breaker" << (name_.empty() ? "" : " ") << name_
+                     << " closed (trial succeeded)";
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failures_;
+  switch (state_) {
+    case State::closed:
+      if (failures_ >= config_.failure_threshold) open_locked(now_us());
+      break;
+    case State::half_open:
+      // The trial failed: back to open with a fresh cooldown.
+      open_locked(now_us());
+      break;
+    case State::open:
+      // A straggling admitted request (from before the trip) failed; the
+      // breaker is already open, just refresh nothing.
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opens_;
+}
+
+std::size_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+}  // namespace isaac

@@ -1,0 +1,219 @@
+#include "common/failpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace isaac::failpoint {
+
+namespace detail {
+std::atomic<int> g_armed_count{0};
+}
+
+namespace {
+
+// Registry: node-based map so Failpoint addresses stay stable forever (macro
+// call sites cache references). Sites are created on first use and never
+// erased; disarming only flips their trigger off.
+struct Registry {
+  std::shared_mutex mutex;
+  std::map<std::string, Failpoint, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // immortal: sites outlive static dtors
+  return *r;
+}
+
+/// splitmix64-style finalizer: the per-hit decision hash for Mode::prob.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t name_hash(std::string_view name) {
+  // FNV-1a: stable across processes (std::hash is not), so env-armed runs on
+  // different machines draw the same default-seeded sequences.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+Spec Spec::parse(std::string_view text) {
+  const auto fields = strings::split(strings::trim(text), ':');
+  Spec spec;
+  const std::string& mode = fields[0];
+  if (mode == "off") {
+    if (fields.size() != 1) throw std::invalid_argument("failpoint spec: off takes no argument");
+    return spec;
+  }
+  if (mode == "once") {
+    if (fields.size() != 1) throw std::invalid_argument("failpoint spec: once takes no argument");
+    spec.mode = Mode::once;
+    spec.count = 1;
+    return spec;
+  }
+  if (mode == "count") {
+    if (fields.size() != 2 || !parse_u64(fields[1], spec.count)) {
+      throw std::invalid_argument("failpoint spec: expected count:N, got '" +
+                                  std::string(text) + "'");
+    }
+    spec.mode = Mode::count;
+    return spec;
+  }
+  if (mode == "prob") {
+    if (fields.size() != 2 && fields.size() != 3) {
+      throw std::invalid_argument("failpoint spec: expected prob:P[:SEED], got '" +
+                                  std::string(text) + "'");
+    }
+    char* end = nullptr;
+    spec.probability = std::strtod(fields[1].c_str(), &end);
+    if (end != fields[1].c_str() + fields[1].size() || !(spec.probability >= 0.0) ||
+        !(spec.probability <= 1.0)) {
+      throw std::invalid_argument("failpoint spec: probability must be in [0, 1], got '" +
+                                  fields[1] + "'");
+    }
+    if (fields.size() == 3 && !parse_u64(fields[2], spec.seed)) {
+      throw std::invalid_argument("failpoint spec: bad seed '" + fields[2] + "'");
+    }
+    spec.mode = Mode::prob;
+    return spec;
+  }
+  throw std::invalid_argument("failpoint spec: unknown mode '" + mode + "'");
+}
+
+bool Failpoint::should_fire() noexcept {
+  const Spec::Mode mode = mode_.load(std::memory_order_acquire);
+  if (mode == Spec::Mode::off) return false;
+  // Claim the next hit index; the decision is a pure function of (spec, i),
+  // so the per-site fire sequence is deterministic however threads interleave.
+  const std::uint64_t i = hits_.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  switch (mode) {
+    case Spec::Mode::once:
+    case Spec::Mode::count:
+      fire = i < limit_.load(std::memory_order_relaxed);
+      break;
+    case Spec::Mode::prob: {
+      const double p = probability_.load(std::memory_order_relaxed);
+      const std::uint64_t h = mix64(seed_.load(std::memory_order_relaxed) ^ mix64(i));
+      // Top 53 bits -> uniform double in [0, 1).
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      fire = u < p;
+      break;
+    }
+    case Spec::Mode::off:
+      break;
+  }
+  if (fire) {
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("fault.injected").add(1);
+      telemetry::counter(std::string("fault.injected.") + name_).add(1);
+    }
+  }
+  return fire;
+}
+
+void Failpoint::arm_locked(Spec spec) {
+  const bool was_armed = mode_.load(std::memory_order_relaxed) != Spec::Mode::off;
+  limit_.store(spec.count, std::memory_order_relaxed);
+  probability_.store(spec.probability, std::memory_order_relaxed);
+  seed_.store(spec.seed != 0 ? spec.seed : name_hash(name_), std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);  // restart the sequence
+  mode_.store(spec.mode, std::memory_order_release);
+  const bool now_armed = spec.mode != Spec::Mode::off;
+  if (now_armed && !was_armed) detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  if (!now_armed && was_armed) detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoint::disarm_locked() {
+  if (mode_.exchange(Spec::Mode::off, std::memory_order_release) != Spec::Mode::off) {
+    detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Failpoint& site(std::string_view name) {
+  Registry& r = registry();
+  {
+    std::shared_lock lock(r.mutex);
+    const auto it = r.sites.find(name);
+    if (it != r.sites.end()) return it->second;
+  }
+  std::unique_lock lock(r.mutex);
+  return r.sites.try_emplace(std::string(name), std::string(name)).first->second;
+}
+
+void arm(const std::string& name, Spec spec) {
+  Failpoint& fp = site(name);
+  std::unique_lock lock(registry().mutex);  // serialize arm/arm races
+  fp.arm_locked(spec);
+  ISAAC_LOG_INFO() << "failpoint armed: " << name;
+}
+
+void arm(const std::string& name, const std::string& spec) { arm(name, Spec::parse(spec)); }
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  std::unique_lock lock(r.mutex);
+  const auto it = r.sites.find(name);
+  if (it != r.sites.end()) it->second.disarm_locked();
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::unique_lock lock(r.mutex);
+  for (auto& [name, fp] : r.sites) fp.disarm_locked();
+}
+
+std::uint64_t hits(std::string_view name) { return site(name).hits(); }
+std::uint64_t fires(std::string_view name) { return site(name).fires(); }
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("ISAAC_FAILPOINTS");
+    if (!env || !*env) return;
+    for (const auto& item : strings::split(env, ',')) {
+      const std::string trimmed = strings::trim(item);
+      if (trimmed.empty()) continue;
+      const auto eq = trimmed.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        ISAAC_LOG_WARN() << "ISAAC_FAILPOINTS: skipping malformed item '" << trimmed << "'";
+        continue;
+      }
+      try {
+        arm(trimmed.substr(0, eq), trimmed.substr(eq + 1));
+      } catch (const std::exception& e) {
+        ISAAC_LOG_WARN() << "ISAAC_FAILPOINTS: skipping '" << trimmed << "': " << e.what();
+      }
+    }
+  });
+}
+
+bool fired_slow(std::string_view name) { return site(name).should_fire(); }
+
+}  // namespace isaac::failpoint

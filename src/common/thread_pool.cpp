@@ -58,7 +58,15 @@ void ThreadPool::worker_loop() {
     if (task.enqueue_us) {
       ISAAC_TM_RECORD("pool.queue_delay_us", telemetry::now_us() - task.enqueue_us);
     }
-    task.fn();
+    try {
+      task.fn();
+    } catch (...) {
+      // A task that throws across the pool boundary has nowhere to deliver
+      // its exception — without this catch the unwind would std::terminate
+      // the whole process. parallel_for routes errors through its own
+      // exception_ptr channel; for bare submit() tasks, count and drop.
+      ISAAC_TM_COUNT("pool.task_exceptions");
+    }
   }
 }
 

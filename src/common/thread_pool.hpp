@@ -3,8 +3,10 @@
 // The pool is the only threading primitive in the repo: the functional kernel
 // executors iterate GPU thread-blocks over it, the MLP trainer shards
 // minibatch GEMMs over it, and the runtime inference scores candidate kernels
-// over it. Tasks must not throw across the pool boundary; exceptions are
-// captured and rethrown on the calling thread by parallel_for.
+// over it. parallel_for captures chunk exceptions and rethrows the first (by
+// index order) on the calling thread; an exception escaping a bare submit()
+// task has no caller to deliver to, so the worker swallows it and counts
+// `pool.task_exceptions` instead of letting the unwind terminate the process.
 #pragma once
 
 #include <condition_variable>

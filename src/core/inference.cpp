@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "search/driver.hpp"
 #include "search/factory.hpp"
@@ -26,6 +27,9 @@ search::SearchConfig resolve_config(const search::SearchConfig& config) {
   if (resolved.batch == 0) resolved.batch = defaults.batch;
   if (resolved.keep_top == 0) resolved.keep_top = defaults.keep_top;
   if (resolved.reeval_reps <= 0) resolved.reeval_reps = defaults.reeval_reps;
+  // Reject nonsense (NaN deadlines, negative retries) before any of it can
+  // reach the drive loop; zero-valued size fields were just resolved away.
+  resolved.validate(/*resolved=*/true);
   return resolved;
 }
 
@@ -76,8 +80,10 @@ TuneResult<typename OperationTraits<Op>::Tuning> tune(
   // chain revisits, GA fallbacks); keep result.top a list of *distinct*
   // candidates. Re-measurements are deterministic, so dropping them is safe.
   std::unordered_set<std::string> seen_tunings;
+  search::DriveOptions drive_options(resolved);
+  drive_options.stopped_early = &result.stopped_early;
   result.measured = search::drive(
-      *strategy, resolved.budget, measure,
+      *strategy, drive_options, measure,
       [&](const search::Proposal<Tuning>& p, double gflops) {
         if (!seen_tunings.insert(Traits::encode_tuning(p.tuning)).second) return;
         Candidate<Tuning> c;
@@ -136,6 +142,10 @@ PredictResult<typename OperationTraits<Op>::Tuning> predict(
 
   telemetry::Span span("predict");
   ISAAC_TM_COUNT("dispatch.predict");
+  // Chaos site for the tier-1 leader path (a production ranking can fail on
+  // NaN weights or a poisoned model file); Context degrades to the
+  // seed-grid fallback through its circuit breaker.
+  ISAAC_FAILPOINT("predict.throw");
   const std::uint64_t t0 = telemetry::enabled() ? telemetry::now_us() : 0;
   search::SearchConfig resolved = resolve_config<Op>(config);
   // Ops that rank densely resolve max_candidates to 0, which would make the

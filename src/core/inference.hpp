@@ -42,6 +42,8 @@ struct TuneResult {
   std::size_t measured = 0;            // device evaluations spent (≤ budget)
   std::string strategy;                // resolved strategy name
   std::size_t budget = 0;              // resolved evaluation budget
+  bool stopped_early = false;          // deadline/cancellation cut the drive
+                                       // loop; best is the anytime result
 };
 
 using GemmTuneResult = TuneResult<codegen::GemmTuning>;

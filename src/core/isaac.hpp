@@ -24,20 +24,26 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/circuit_breaker.hpp"
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "core/inference.hpp"
@@ -73,6 +79,31 @@ struct OnlineLearningOptions {
   std::size_t retrain_every = 0;
 };
 
+/// Fault tolerance for the dispatch runtime (DESIGN.md, "Failure domains").
+/// The defaults are live in every Context; with nothing failing, none of the
+/// machinery does anything (the breaker stays closed, no refinement is shed).
+struct FaultToleranceOptions {
+  /// Consecutive leader-path failures (predict or blocking tune throwing a
+  /// runtime error) that trip the per-op circuit breaker open.
+  std::size_t breaker_failure_threshold = 3;
+  /// How long an open breaker refuses leaders before a half-open trial.
+  double breaker_cooldown_ms = 250.0;
+  /// Admission control: background refinements concurrently pending before
+  /// new ones are shed (the key re-arms, so a later hit retries). 0 = off.
+  std::size_t refine_max_pending = 64;
+  /// A failing refinement is retried this many times in total; further hits
+  /// inside the reset window are dropped without re-enqueueing.
+  int refine_max_attempts = 2;
+  /// After this long without a new failure, a dropped key's attempt count
+  /// resets — the fault storm may have passed, so refinement gets another go.
+  double refine_retry_reset_ms = 1000.0;
+  /// Deadline handed to background refinement searches (SearchConfig::
+  /// timeout_ms): the anytime result is kept at expiry. 0 = no deadline.
+  double refine_deadline_ms = 0.0;
+  /// Re-probe interval for the disk-degraded profile cache / observation log.
+  double disk_retry_ms = 1000.0;
+};
+
 struct ContextOptions {
   double noise_sigma = 0.03;       // simulated measurement noise
   std::uint64_t seed = 0x15AAC;
@@ -89,6 +120,8 @@ struct ContextOptions {
   /// Learn from production measurements: observation log, drift detection,
   /// warm-start retraining, hot model swaps. Off by default.
   OnlineLearningOptions online;
+  /// Retry / breaker / admission-control knobs. Inert while nothing fails.
+  FaultToleranceOptions fault;
 };
 
 /// What a tuned call reports back.
@@ -106,6 +139,10 @@ struct CallInfo {
                             // search otherwise)
   bool provisional = false;  // the served entry was a tier-1 model prediction
                              // whose background refinement has not landed yet
+  bool fallback = false;  // the served entry is a seed-grid fallback minted
+                          // while the leader path was failing (breaker open
+                          // or the ranking threw); refinement will upgrade
+                          // it once the fault clears
 };
 
 using GemmCallInfo = CallInfo<GemmOp>;
@@ -174,6 +211,7 @@ class Context {
     EntryTier tier = EntryTier::refined;
     info.tuning = select<Op>(shape, &info.from_cache, &tier);
     info.provisional = tier == EntryTier::provisional;
+    info.fallback = tier == EntryTier::fallback;
     OperationTraits<Op>::execute(shape, info.tuning, std::forward<Args>(args)...);
     const auto timing =
         sim_.launch_median(OperationTraits<Op>::analyze(shape, info.tuning, sim_.device()), 3);
@@ -257,6 +295,32 @@ class Context {
   /// Background refinements that completed and upgraded their entry.
   std::size_t refinements() const noexcept { return refinements_.load(); }
 
+  // ---- fault-tolerance observability (tests and the --chaos bench) ----
+
+  /// Seed-grid fallback selections minted while the leader path was failing.
+  std::size_t fallbacks_served() const noexcept { return fallbacks_.load(); }
+
+  /// Leaders refused outright by an open breaker (served fallback instantly).
+  std::size_t breaker_short_circuits() const noexcept {
+    return breaker_short_circuits_.load();
+  }
+
+  /// Refinements shed by admission control (queue already at max pending).
+  std::size_t refinements_shed() const noexcept { return refinements_shed_.load(); }
+
+  /// Refinements dropped after exhausting their retry attempts.
+  std::size_t refinements_dropped() const noexcept { return refinements_dropped_.load(); }
+
+  /// Background refinements currently pending (enqueued or running).
+  std::size_t refinements_pending() const noexcept {
+    return refine_pending_.load(std::memory_order_relaxed);
+  }
+
+  /// State of `kind`'s dispatch breaker (closed when the op never failed).
+  CircuitBreaker::State breaker_state(std::string_view kind) {
+    return breaker_for(kind).state();
+  }
+
   ProfileCache& cache() noexcept { return cache_; }
 
   // ---- online model lifecycle (no-ops unless options.online.enabled) ----
@@ -300,9 +364,31 @@ class Context {
   /// pending (or already landed). The refining set is the exactly-once gate:
   /// whoever wins the insert owns the refinement; keys stay in the set after
   /// a successful upgrade so a stale "provisional" observation can never
-  /// double-refine, and are erased on failure so a later hit may retry.
+  /// double-refine, and are erased on failure so a later hit may retry —
+  /// bounded by refine_max_attempts per refine_retry_reset_ms window, and
+  /// shed entirely when refine_max_pending tasks are already outstanding.
   template <typename Op>
   void maybe_refine(const std::string& key, const typename OperationTraits<Op>::Shape& shape);
+
+  /// The degradation ladder's last sane rung: the first seed-grid entry legal
+  /// for `shape` — no model, no measurement, no search, just the coarse grid
+  /// every op guarantees. Throws std::runtime_error when no seed is legal
+  /// (the shape is genuinely untunable; nothing left to degrade to).
+  template <typename Op>
+  typename OperationTraits<Op>::Tuning fallback_tuning(
+      const typename OperationTraits<Op>::Shape& shape) const {
+    using Traits = OperationTraits<Op>;
+    for (const auto& t : Traits::seed_grid()) {
+      if (Traits::validate(shape, t, sim_.device())) return t;
+    }
+    throw std::runtime_error(std::string("Context: no legal seed-grid fallback for ") +
+                             Traits::kind() + " shape " + shape.to_string());
+  }
+
+  /// The per-op-kind dispatch breaker (created closed on first use). The map
+  /// node is stable, so the returned reference stays valid for the Context's
+  /// lifetime.
+  CircuitBreaker& breaker_for(std::string_view kind);
 
   /// Fold a search's measured candidates into the observation log, feed the
   /// drift detector, and schedule a retrain when a trigger fires. Never
@@ -343,9 +429,34 @@ class Context {
   std::mutex inflight_mutex_;
   std::unordered_map<std::string, std::shared_future<void>> inflight_;
   std::unordered_set<std::string> refining_;
+  /// Retry-then-drop bookkeeping for failing refinements, guarded by
+  /// inflight_mutex_ like the set above. attempts counts failures inside the
+  /// current reset window; entries older than refine_retry_reset_ms are
+  /// forgiven (the storm may have passed).
+  struct RefineBackoff {
+    int attempts = 0;
+    std::uint64_t last_failure_us = 0;
+  };
+  std::unordered_map<std::string, RefineBackoff> refine_backoff_;
   std::atomic<std::size_t> tuning_runs_{0};
   std::atomic<std::size_t> predictions_{0};
   std::atomic<std::size_t> refinements_{0};
+
+  // Fault-tolerance state. One breaker per op kind: a conv-specific fault
+  // (say, a poisoned conv ranking) must not degrade gemm dispatch.
+  std::mutex breaker_mutex_;
+  std::map<std::string, CircuitBreaker, std::less<>> breakers_;
+  std::atomic<std::size_t> refine_pending_{0};
+  std::atomic<std::size_t> fallbacks_{0};
+  std::atomic<std::size_t> breaker_short_circuits_{0};
+  std::atomic<std::size_t> refinements_shed_{0};
+  std::atomic<std::size_t> refinements_dropped_{0};
+  /// Set by ~Context before draining: background refinements poll it between
+  /// search batches (SearchConfig::cancel) and abandon cooperatively, so
+  /// teardown never waits out a long search or an injected hang.
+  std::atomic<bool> cancel_requested_{false};
+  std::atomic<std::uint64_t> retrain_backoff_until_us_{0};
+  std::atomic<int> retrain_failures_{0};
 
   // Online model lifecycle state (inert when options_.online.enabled is
   // false: the log and detector are constructed but never fed).
@@ -387,10 +498,12 @@ typename OperationTraits<Op>::Tuning Context::select(
   EntryTier hit_tier = EntryTier::refined;
   if (const auto cached = cache_.lookup<Op>(dev, shape, &hit_tier)) {
     ISAAC_TM_COUNT("dispatch.hit");
-    if (hit_tier == EntryTier::provisional) {
+    if (hit_tier != EntryTier::refined) {
       // Normally a no-op (the leader already owns the refinement); this
       // re-arms refinement for provisional entries loaded from disk, whose
-      // producing process died before upgrading them.
+      // producing process died before upgrading them, and for fallback
+      // entries minted during a fault storm — each hit is another chance to
+      // converge back to the refined tier once the fault clears.
       maybe_refine<Op>(ProfileCache::key<Op>(dev, shape), shape);
     }
     if (from_cache) *from_cache = true;
@@ -427,37 +540,76 @@ typename OperationTraits<Op>::Tuning Context::select(
       std::optional<typename OperationTraits<Op>::Tuning> winner;
       EntryTier winner_tier = EntryTier::refined;
       std::exception_ptr error;
+      CircuitBreaker& breaker = breaker_for(OperationTraits<Op>::kind());
       try {
         // One snapshot pin for the whole leader operation: a concurrent hot
         // swap cannot mix two model versions into one decision, and the
         // pinned version outlives the ranking no matter when the swap lands.
         const auto snapshot = model_snapshot();
-        if (options_.two_tier && snapshot) {
-          // Tier 1: the model's argmax, zero measurements on this thread.
-          telemetry::Span predict_span("select.predict");
-          ISAAC_TM_COUNT("dispatch.leader_predict");
-          const auto pred =
-              core::predict<Op>(shape, snapshot->regressor(), sim_.device(), options_.search);
-          cache_.store<Op>(dev, shape, pred.tuning,
-                           ProfileCache::provenance("predict", 0, EntryTier::provisional));
-          predictions_.fetch_add(1, std::memory_order_relaxed);
-          winner = pred.tuning;
-          winner_tier = EntryTier::provisional;
-          maybe_refine<Op>(key, shape);
+        if (!snapshot) throw std::logic_error("Context: no model trained or installed");
+        if (!breaker.allow_request()) {
+          // Persistent-failure short circuit: don't even attempt the ranking
+          // the last N leaders died in — serve the seed-grid fallback
+          // instantly. The entry is stored (so followers and future callers
+          // hit), tiered `fallback`, and upgradeable once the breaker lets a
+          // refinement through again.
+          breaker_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+          ISAAC_TM_COUNT("breaker.short_circuit");
+          winner = fallback_tuning<Op>(shape);
+          cache_.store<Op>(dev, shape, *winner,
+                           ProfileCache::provenance("fallback", 0, EntryTier::fallback));
+          fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          ISAAC_TM_COUNT("breaker.fallbacks");
+          winner_tier = EntryTier::fallback;
         } else {
-          if (!snapshot) throw std::logic_error("Context: no model trained or installed");
-          telemetry::Span tune_span("select.tune");
-          ISAAC_TM_COUNT("dispatch.leader_tune");
-          const auto result =
-              core::tune<Op>(shape, snapshot->regressor(), sim_, options_.search);
-          // Provenance records the evaluations actually spent (≤ the
-          // requested budget): truthful even for "unlimited" sweeps.
-          cache_.store<Op>(dev, shape, result.best.tuning,
-                           ProfileCache::provenance(result.strategy, result.measured,
-                                                    EntryTier::refined));
-          tuning_runs_.fetch_add(1, std::memory_order_relaxed);
-          winner = result.best.tuning;
-          record_observations<Op>(*snapshot, shape, result);
+          try {
+            if (options_.two_tier) {
+              // Tier 1: the model's argmax, zero measurements on this thread.
+              telemetry::Span predict_span("select.predict");
+              ISAAC_TM_COUNT("dispatch.leader_predict");
+              const auto pred = core::predict<Op>(shape, snapshot->regressor(), sim_.device(),
+                                                  options_.search);
+              cache_.store<Op>(dev, shape, pred.tuning,
+                               ProfileCache::provenance("predict", 0, EntryTier::provisional));
+              predictions_.fetch_add(1, std::memory_order_relaxed);
+              winner = pred.tuning;
+              winner_tier = EntryTier::provisional;
+              maybe_refine<Op>(key, shape);
+            } else {
+              telemetry::Span tune_span("select.tune");
+              ISAAC_TM_COUNT("dispatch.leader_tune");
+              const auto result =
+                  core::tune<Op>(shape, snapshot->regressor(), sim_, options_.search);
+              // Provenance records the evaluations actually spent (≤ the
+              // requested budget): truthful even for "unlimited" sweeps.
+              cache_.store<Op>(dev, shape, result.best.tuning,
+                               ProfileCache::provenance(result.strategy, result.measured,
+                                                        EntryTier::refined));
+              tuning_runs_.fetch_add(1, std::memory_order_relaxed);
+              winner = result.best.tuning;
+              record_observations<Op>(*snapshot, shape, result);
+            }
+            breaker.record_success();
+          } catch (const std::runtime_error& e) {
+            // A transient-class failure (the retry layer inside drive()
+            // already spent its attempts): feed the breaker, degrade to the
+            // seed-grid fallback instead of failing the dispatch, and re-arm
+            // refinement so the entry upgrades once the fault clears.
+            // fallback_tuning itself throws when no seed is legal — that
+            // (and any logic_error above) still propagates: "untunable
+            // shape" and "no model" are caller bugs, not device faults.
+            breaker.record_failure();
+            ISAAC_TM_COUNT("fault.leader_failures");
+            ISAAC_LOG_WARN() << "dispatch leader failed for " << key << " (" << e.what()
+                             << "); serving seed-grid fallback";
+            winner = fallback_tuning<Op>(shape);
+            cache_.store<Op>(dev, shape, *winner,
+                             ProfileCache::provenance("fallback", 0, EntryTier::fallback));
+            fallbacks_.fetch_add(1, std::memory_order_relaxed);
+            ISAAC_TM_COUNT("breaker.fallbacks");
+            winner_tier = EntryTier::fallback;
+            maybe_refine<Op>(key, shape);
+          }
         }
         promise.set_value();
       } catch (...) {
@@ -490,9 +642,50 @@ template <typename Op>
 void Context::maybe_refine(const std::string& key,
                            const typename OperationTraits<Op>::Shape& shape) {
   if (!options_.two_tier || !has_model()) return;
+  if (cancel_requested_.load(std::memory_order_relaxed)) return;  // tearing down
+  // While the op's breaker is open there is no point searching — the same
+  // downstream fault that failed the leaders would fail the refinement.
+  // allow_request() doubles as the recovery probe: after the cooldown it
+  // hands out the half-open trial, and this refinement's outcome (reported
+  // below) is what re-closes or re-opens the breaker.
+  CircuitBreaker& breaker = breaker_for(OperationTraits<Op>::kind());
+  if (!breaker.allow_request()) {
+    ISAAC_TM_COUNT("refine.skipped_open");
+    return;
+  }
+  const std::uint64_t now_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  const std::uint64_t reset_us =
+      static_cast<std::uint64_t>(options_.fault.refine_retry_reset_ms * 1000.0);
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto backoff = refine_backoff_.find(key);
+    if (backoff != refine_backoff_.end()) {
+      if (now_us - backoff->second.last_failure_us >= reset_us) {
+        // The reset window passed without a new failure: forgive the streak
+        // and let refinement try again.
+        refine_backoff_.erase(backoff);
+      } else if (backoff->second.attempts >= options_.fault.refine_max_attempts) {
+        return;  // dropped for now; the reset window re-arms it later
+      }
+    }
     if (!refining_.insert(key).second) return;  // pending or already landed
+  }
+  // Admission control: a fault storm that turns every dispatch into a
+  // refinement candidate must not flood the pool (those workers also serve
+  // warmups and retrains). Shed beyond the cap and re-arm the key — a later
+  // hit on the still-provisional entry retries when the queue has drained.
+  const std::size_t already_pending = refine_pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (options_.fault.refine_max_pending > 0 &&
+      already_pending >= options_.fault.refine_max_pending) {
+    refine_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    refinements_shed_.fetch_add(1, std::memory_order_relaxed);
+    ISAAC_TM_COUNT("refine.shed");
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    refining_.erase(key);
+    return;
   }
   {
     std::lock_guard<std::mutex> lock(background_mutex_);
@@ -512,12 +705,31 @@ void Context::maybe_refine(const std::string& key,
       telemetry::record_span("refine.queue", parent_span, enqueue_us, begin_us);
     }
     bool upgraded = false;
+    bool failed = false;
     {
       // Scoped so the span record lands in the ring *before* the completion
       // notification below: drain_background() returning must imply the
       // refinement's spans are observable in a snapshot.
       telemetry::Span run_span("refine.run", parent_span);
       try {
+        // Chaos site: a refinement that wedges (driver hang, livelocked
+        // measurement). The hang is cooperative — 1 ms slices bounded by the
+        // refinement deadline and the teardown flag — and then surfaces as a
+        // failure, exactly like a real watchdog expiry would.
+        if (ISAAC_FAILPOINT_FIRED("refine.hang")) {
+          ISAAC_TM_COUNT("refine.hang");
+          const double hang_ms = options_.fault.refine_deadline_ms > 0.0
+                                     ? options_.fault.refine_deadline_ms
+                                     : 25.0;
+          const auto hang_until = std::chrono::steady_clock::now() +
+                                  std::chrono::microseconds(
+                                      static_cast<std::int64_t>(hang_ms * 1000.0));
+          while (std::chrono::steady_clock::now() < hang_until &&
+                 !cancel_requested_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          throw std::runtime_error("refinement hung past its deadline");
+        }
         // Pin the version current *now* — possibly newer than the one whose
         // tier-1 prediction this task refines, which is fine: the refinement
         // is a fresh full search, internally consistent on its own pin, and
@@ -525,8 +737,13 @@ void Context::maybe_refine(const std::string& key,
         // (the set_model() use-after-free this replaces).
         const auto snapshot = model_snapshot();
         if (!snapshot) throw std::logic_error("Context: model uninstalled mid-refinement");
-        const auto result =
-            core::tune<Op>(shape, snapshot->regressor(), sim_, options_.search);
+        // Background searches run under the refinement deadline and the
+        // Context's teardown flag: an anytime result at expiry still
+        // upgrades, and ~Context never waits out a full search.
+        search::SearchConfig refine_cfg = options_.search;
+        refine_cfg.timeout_ms = options_.fault.refine_deadline_ms;
+        refine_cfg.cancel = &cancel_requested_;
+        const auto result = core::tune<Op>(shape, snapshot->regressor(), sim_, refine_cfg);
         upgraded = cache_.upgrade<Op>(device().name, shape, result.best.tuning,
                                       ProfileCache::provenance(result.strategy,
                                                                result.measured,
@@ -539,21 +756,60 @@ void Context::maybe_refine(const std::string& key,
           ISAAC_TM_COUNT("refine.rejected");
         }
         record_observations<Op>(*snapshot, shape, result);
+        breaker_for(OperationTraits<Op>::kind()).record_success();
       } catch (const std::exception& e) {
+        failed = true;
         ISAAC_TM_COUNT("refine.failed");
-        // The provisional prediction stays live and functional; a later hit on
-        // it may retry (the erase below re-arms the gate).
+        // The provisional/fallback entry stays live and functional; the
+        // backoff bookkeeping below decides whether a later hit may retry.
         ISAAC_LOG_WARN() << "background refinement failed for " << key << ": " << e.what();
       } catch (...) {
+        failed = true;
         ISAAC_TM_COUNT("refine.failed");
         ISAAC_LOG_WARN() << "background refinement failed for " << key;
       }
+      if (failed) {
+        // Report honestly only when this refinement held the breaker's
+        // half-open trial: re-open it. A refinement failing while the
+        // breaker is closed must NOT trip it — leaders may be serving
+        // predictions just fine, and degrading them over a background
+        // hiccup would be self-inflicted damage.
+        CircuitBreaker& breaker = breaker_for(OperationTraits<Op>::kind());
+        if (breaker.state() == CircuitBreaker::State::half_open) breaker.record_failure();
+      }
       if (begin_us) ISAAC_TM_RECORD("refine.run_us", telemetry::now_us() - begin_us);
     }
-    if (!upgraded) {
+    {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
-      refining_.erase(key);
+      if (failed) {
+        refining_.erase(key);
+        // Retry-then-drop: count this failure against the key's window. Under
+        // the cap a later hit re-enqueues (refine.retry); at the cap the key
+        // is dropped until the reset window forgives it (refine.dropped).
+        auto& backoff = refine_backoff_[key];
+        const std::uint64_t fail_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        const std::uint64_t reset_us =
+            static_cast<std::uint64_t>(options_.fault.refine_retry_reset_ms * 1000.0);
+        if (fail_us - backoff.last_failure_us >= reset_us) backoff.attempts = 0;
+        ++backoff.attempts;
+        backoff.last_failure_us = fail_us;
+        if (backoff.attempts >= options_.fault.refine_max_attempts) {
+          refinements_dropped_.fetch_add(1, std::memory_order_relaxed);
+          ISAAC_TM_COUNT("refine.dropped");
+        } else {
+          ISAAC_TM_COUNT("refine.retry");
+        }
+      } else if (!upgraded) {
+        // Succeeded but the entry was already refined (raced with another
+        // producer): nothing to retry, leave the key owned.
+      } else {
+        refine_backoff_.erase(key);
+      }
     }
+    refine_pending_.fetch_sub(1, std::memory_order_acq_rel);
     // Last step, notify under the lock: a destructor waiting on
     // background_pending_ == 0 cannot resume (and free `this`) until this
     // task's unlock, after which the task touches nothing of `this`.

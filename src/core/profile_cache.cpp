@@ -1,11 +1,13 @@
 #include "core/profile_cache.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 
@@ -69,8 +71,9 @@ ProfileCache::ProfileCache(std::string directory) : directory_(std::move(directo
 }
 
 EntryTier ProfileCache::tier_from_meta(const std::string& meta) {
-  return meta.find("tier=provisional") != std::string::npos ? EntryTier::provisional
-                                                            : EntryTier::refined;
+  if (meta.find("tier=provisional") != std::string::npos) return EntryTier::provisional;
+  if (meta.find("tier=fallback") != std::string::npos) return EntryTier::fallback;
+  return EntryTier::refined;
 }
 
 void ProfileCache::load_from_disk() {
@@ -105,7 +108,13 @@ void ProfileCache::load_from_disk() {
     while (std::getline(is, line)) {
       if (line.empty()) continue;
       ++lines;
-      if (!parse_line(line, key, value, meta)) continue;
+      if (!parse_line(line, key, value, meta)) {
+        // Quarantine, never fatal: a torn tail or foreign garbage costs the
+        // one line, not the cache. Counted below; compaction (which rewrites
+        // only parsed entries) heals the file.
+        ++load_corrupt_;
+        continue;
+      }
       const EntryTier entry_tier = tier_from_meta(meta);
       live[key] = Entry{value, meta, entry_tier, {}};
     }
@@ -152,7 +161,10 @@ void ProfileCache::load_from_disk() {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     ++lines;
-    if (!parse_line(line, key, value, meta)) continue;
+    if (!parse_line(line, key, value, meta)) {
+      ++load_corrupt_;
+      continue;
+    }
     const EntryTier entry_tier = tier_from_meta(meta);
     live[key] = Entry{value, meta, entry_tier, {}};
   }
@@ -162,6 +174,11 @@ void ProfileCache::load_from_disk() {
     shard_for(key).entries.emplace(key, std::move(entry));
   }
   ISAAC_TM_COUNT_N("cache.loaded_entries", live.size());
+  if (load_corrupt_ > 0) {
+    ISAAC_TM_COUNT_N("cache.load_corrupt", load_corrupt_);
+    ISAAC_LOG_WARN() << "profile cache: quarantined " << load_corrupt_
+                     << " malformed line(s) in " << file.string();
+  }
   ISAAC_LOG_INFO() << "profile cache: loaded " << live.size() << " entries from "
                    << file.string();
 }
@@ -172,31 +189,32 @@ std::string ProfileCache::provenance(const std::string& strategy, std::size_t bu
 
 std::string ProfileCache::provenance(const std::string& strategy, std::size_t budget,
                                      EntryTier tier) {
-  return provenance(strategy, budget) +
-         (tier == EntryTier::provisional ? ";tier=provisional" : ";tier=refined");
+  const char* name = tier == EntryTier::provisional ? "provisional"
+                     : tier == EntryTier::fallback  ? "fallback"
+                                                    : "refined";
+  return provenance(strategy, budget) + ";tier=" + name;
 }
 
-void ProfileCache::append_to_disk(const std::string& key, const std::string& value,
-                                  const std::string& meta) const {
-  if (directory_.empty()) return;
+bool ProfileCache::write_line_to_disk(const std::string& line) const {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   const std::filesystem::path file = cache_file(directory_);
-  const std::string line = format_line(key, value, meta);
+  // Chaos site: a full disk / revoked mount / flock contention storm, all
+  // surfaced as "the write failed" so the degrade path below is what runs.
+  if (ISAAC_FAILPOINT_FIRED("cache.write_fail")) return false;
 #if ISAAC_HAVE_FLOCK
   // Exclusive-flocked O_APPEND write of the whole line in one syscall, so
   // concurrent writers (threads or separate processes) cannot tear it.
   const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    ISAAC_LOG_WARN() << "profile cache: cannot write " << file.string();
-    return;
-  }
+  if (fd < 0) return false;
+  bool ok = false;
   if (::flock(fd, LOCK_EX) == 0) {
     std::size_t written = 0;
+    ok = true;
     while (written < line.size()) {
       const ssize_t n = ::write(fd, line.data() + written, line.size() - written);
       if (n <= 0) {
-        ISAAC_LOG_WARN() << "profile cache: short write to " << file.string();
+        ok = false;
         break;
       }
       written += static_cast<std::size_t>(n);
@@ -204,14 +222,48 @@ void ProfileCache::append_to_disk(const std::string& key, const std::string& val
     ::flock(fd, LOCK_UN);
   }
   ::close(fd);
+  return ok;
 #else
   std::ofstream os(file, std::ios::app);
-  if (!os) {
-    ISAAC_LOG_WARN() << "profile cache: cannot write " << file.string();
+  if (!os) return false;
+  os << line;
+  return static_cast<bool>(os);
+#endif
+}
+
+void ProfileCache::append_to_disk(const std::string& key, const std::string& value,
+                                  const std::string& meta) const {
+  if (directory_.empty()) return;
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  // Degraded: serve memory-only, but re-probe the disk once per retry
+  // interval — a transient outage (disk filled, then freed) heals itself
+  // without a restart. Entries written while degraded are lost to the file
+  // (memory keeps them); last-wins replay semantics make that safe.
+  if (disk_degraded_.load(std::memory_order_relaxed) &&
+      now < disk_retry_at_us_.load(std::memory_order_relaxed)) {
+    disk_writes_skipped_.fetch_add(1, std::memory_order_relaxed);
+    ISAAC_TM_COUNT("cache.disk_write_skipped");
     return;
   }
-  os << line;
-#endif
+  if (write_line_to_disk(format_line(key, value, meta))) {
+    if (disk_degraded_.exchange(false, std::memory_order_relaxed)) {
+      ISAAC_TM_COUNT("cache.disk_recovered");
+      ISAAC_LOG_INFO() << "profile cache: disk writes recovered, leaving memory-only mode";
+    }
+    return;
+  }
+  disk_retry_at_us_.store(now + disk_retry_us_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  if (!disk_degraded_.exchange(true, std::memory_order_relaxed)) {
+    ISAAC_TM_COUNT("cache.disk_degraded");
+    ISAAC_LOG_WARN() << "profile cache: disk append failed; degrading to memory-only with "
+                     << "periodic re-probe";
+  } else {
+    ISAAC_TM_COUNT("cache.disk_reprobe_failed");
+  }
 }
 
 }  // namespace isaac::core

@@ -11,11 +11,20 @@
 //
 // Entries carry a *tier* for the two-tier dispatch runtime: `provisional`
 // marks a zero-measurement model prediction served while a background
-// refinement is pending; `refined` marks the result of a full search.
-// upgrade<Op>() replaces a provisional entry in place and never demotes a
+// refinement is pending; `refined` marks the result of a full search;
+// `fallback` marks a seed-grid entry served by the circuit breaker while the
+// real selection path is failing (DESIGN.md, "Failure domains") — the bottom
+// of the degradation ladder, upgradeable by anything better. upgrade<Op>()
+// replaces a provisional or fallback entry in place and never demotes a
 // refined one. The tier travels inside the provenance column as
-// `tier=provisional|refined`; lines without the field (all legacy schemas)
-// parse as refined.
+// `tier=provisional|refined|fallback`; lines without the field (all legacy
+// schemas) parse as refined.
+//
+// Failure domains: load_from_disk() quarantines malformed/torn lines (a
+// corrupt cache degrades capacity, never correctness — counted in
+// CacheStats::load_corrupt and `cache.load_corrupt`), and a failing disk
+// append flips the cache into memory-only mode with a periodic re-probe
+// instead of hammering a dead disk on every store.
 //
 // Thread-safe and sharded: keys hash onto independent buckets, each guarded
 // by its own shared_mutex, so hot-path lookups from many threads stop
@@ -46,8 +55,9 @@ namespace isaac::core {
 
 /// How trustworthy a cached selection is. `provisional` = the model's instant
 /// argmax (tier-1 dispatch), pending background refinement; `refined` = a
-/// full search's winner.
-enum class EntryTier { provisional, refined };
+/// full search's winner; `fallback` = a seed-grid selection served under a
+/// tripped circuit breaker, below provisional on the degradation ladder.
+enum class EntryTier { provisional, refined, fallback };
 
 /// Aggregated cache accounting (see ProfileCache::stats()). Relaxed-snapshot
 /// semantics: totals are exact once writers quiesce; mid-traffic reads may
@@ -59,6 +69,7 @@ struct CacheStats {
   std::uint64_t stores = 0;            // unconditional store() calls
   std::uint64_t upgrades = 0;          // upgrade() calls that replaced the entry
   std::uint64_t upgrade_rejects = 0;   // upgrade() calls refused (already refined)
+  std::uint64_t load_corrupt = 0;      // malformed lines quarantined at load
 };
 
 class ProfileCache {
@@ -132,9 +143,10 @@ class ProfileCache {
   }
 
   /// Upgrade-in-place for the two-tier dispatch: replace the entry only while
-  /// it is still provisional (or absent). Returns false — and writes nothing,
-  /// in memory or on disk — when a refined entry already holds the key, so a
-  /// straggling refinement can never demote a better result.
+  /// it is still provisional or fallback (or absent). Returns false — and
+  /// writes nothing, in memory or on disk — when a refined entry already
+  /// holds the key, so a straggling refinement can never demote a better
+  /// result.
   template <typename Op>
   bool upgrade(const std::string& device, const typename OperationTraits<Op>::Shape& shape,
                const typename OperationTraits<Op>::Tuning& tuning, std::string meta) {
@@ -207,6 +219,7 @@ class ProfileCache {
       total.upgrade_rejects +=
           shard.stats.upgrade_rejects.load(std::memory_order_relaxed);
     }
+    total.load_corrupt = load_corrupt_;
     return total;
   }
 
@@ -218,9 +231,30 @@ class ProfileCache {
            OperationTraits<Op>::shape_key(shape);
   }
 
-  /// `tier=provisional` anywhere in the provenance marks the entry
-  /// provisional; anything else (including every legacy schema) is refined.
+  /// `tier=provisional` / `tier=fallback` anywhere in the provenance mark the
+  /// entry's tier; anything else (including every legacy schema) is refined.
   static EntryTier tier_from_meta(const std::string& meta);
+
+  // ---- disk failure domain (DESIGN.md, "Failure domains") ----
+
+  /// True while the cache is running memory-only because an append failed;
+  /// it re-probes the disk once per retry interval and clears itself on the
+  /// first successful write.
+  bool disk_degraded() const noexcept {
+    return disk_degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Disk appends skipped while degraded (between re-probes).
+  std::uint64_t disk_writes_skipped() const noexcept {
+    return disk_writes_skipped_.load(std::memory_order_relaxed);
+  }
+
+  /// How long a failed disk stays quarantined before the next write re-probes
+  /// it (default 1 s; tests and the chaos bench shrink it).
+  void set_disk_retry_ms(double ms) noexcept {
+    disk_retry_us_.store(ms > 0.0 ? static_cast<std::uint64_t>(ms * 1000.0) : 0,
+                         std::memory_order_relaxed);
+  }
 
   // Legacy per-op spellings.
   std::optional<codegen::GemmTuning> lookup_gemm(const std::string& device,
@@ -285,9 +319,21 @@ class ProfileCache {
   void load_from_disk();
   void append_to_disk(const std::string& key, const std::string& value,
                       const std::string& meta) const;
+  /// The raw write (open + flock + single write(2)); false on any failure.
+  bool write_line_to_disk(const std::string& line) const;
 
   std::string directory_;
   mutable std::array<Shard, kShards> shards_;  // mutable: lookup memoizes decodes
+
+  // Disk health: a failed append flips degraded_ and the cache serves from
+  // memory alone; the next append after the retry interval re-probes. All
+  // mutations happen under the owning shard's exclusive lock (appends only),
+  // so the atomics are for cross-shard visibility, not for write races.
+  mutable std::atomic<bool> disk_degraded_{false};
+  mutable std::atomic<std::uint64_t> disk_retry_at_us_{0};
+  mutable std::atomic<std::uint64_t> disk_retry_us_{1000000};  // 1 s
+  mutable std::atomic<std::uint64_t> disk_writes_skipped_{0};
+  std::uint64_t load_corrupt_ = 0;  // set once, in the constructor's load
 };
 
 }  // namespace isaac::core

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 
 namespace isaac::gpusim {
@@ -46,6 +47,10 @@ std::uint64_t Simulator::profile_fingerprint(const KernelProfile& p) const {
 }
 
 LaunchResult Simulator::launch(const KernelProfile& profile, int rep) const {
+  // Chaos site for the measurement oracle — every search's measure() lands
+  // here, so this is where "the device timed out / errored" injects. The
+  // drive loop's bounded retry and Context's circuit breaker absorb it.
+  ISAAC_FAILPOINT("measure.throw");
   launches_.fetch_add(1, std::memory_order_relaxed);
   LaunchResult out;
   out.model = gpusim::evaluate(dev_, profile);

@@ -13,8 +13,11 @@
 // against OperationTraits<Op>::default_search() by core::tune<Op>().
 #pragma once
 
+#include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace isaac::search {
@@ -54,6 +57,57 @@ struct SearchConfig {
 
   /// Measured candidates retained (best first) in TuneResult::top.
   std::size_t keep_top = 100;
+
+  // ---- failure-domain knobs (DESIGN.md, "Failure domains") ----
+
+  /// Extra attempts per failing measurement before the failure propagates.
+  /// A throwing measure() is retried in place with capped exponential
+  /// backoff — transient injected/transient device faults never abort a
+  /// search; persistent ones still fail deterministically after the retries.
+  int measure_retries = 2;
+
+  /// Base backoff before the first retry; doubles per attempt up to the cap.
+  double retry_backoff_ms = 0.5;
+  double retry_backoff_cap_ms = 8.0;
+
+  /// Wall-clock deadline for the whole drive loop (0 = none). Anytime
+  /// semantics: an expired search stops between batches and returns its
+  /// best-so-far instead of throwing.
+  double timeout_ms = 0.0;
+
+  /// Cooperative cancellation (non-owning; nullptr = never cancelled). The
+  /// drive loop polls it between batches — Context points refinements at its
+  /// shutdown flag so teardown never waits out a full search.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Throw std::invalid_argument with the offending field for values that
+  /// have no sane meaning (NaN/negative time budgets, negative retries).
+  /// Zero-valued size fields stay legal — they mean "use the op default".
+  /// `resolved` additionally requires the post-resolution invariants
+  /// (reeval_reps/batch/keep_top ≥ 1) that core::tune relies on downstream.
+  void validate(bool resolved = false) const {
+    if (measure_retries < 0) {
+      throw std::invalid_argument("SearchConfig: measure_retries must be >= 0");
+    }
+    if (!(retry_backoff_ms >= 0.0) || std::isnan(retry_backoff_ms)) {
+      throw std::invalid_argument("SearchConfig: retry_backoff_ms must be >= 0");
+    }
+    if (!(retry_backoff_cap_ms >= 0.0) || std::isnan(retry_backoff_cap_ms)) {
+      throw std::invalid_argument("SearchConfig: retry_backoff_cap_ms must be >= 0");
+    }
+    if (std::isnan(timeout_ms) || timeout_ms < 0.0) {
+      throw std::invalid_argument("SearchConfig: timeout_ms must be >= 0");
+    }
+    if (reeval_reps < 0) {
+      throw std::invalid_argument("SearchConfig: reeval_reps must be >= 0 (0 = op default)");
+    }
+    if (resolved) {
+      if (reeval_reps < 1) throw std::invalid_argument("SearchConfig: resolved reeval_reps < 1");
+      if (batch < 1) throw std::invalid_argument("SearchConfig: resolved batch < 1");
+      if (keep_top < 1) throw std::invalid_argument("SearchConfig: resolved keep_top < 1");
+      if (budget < 1) throw std::invalid_argument("SearchConfig: resolved budget < 1");
+    }
+  }
 };
 
 }  // namespace isaac::search

@@ -11,15 +11,49 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "search/config.hpp"
 #include "search/strategy.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace isaac::search {
+
+/// Failure-domain knobs the drive loop honors, lifted out of SearchConfig so
+/// callers without a full config (the offline collector) can still opt in.
+struct DriveOptions {
+  std::size_t budget = SIZE_MAX;
+  /// Extra attempts per failing measurement (bounded retry with capped
+  /// exponential backoff); 0 = the pre-hardening propagate-first-throw
+  /// behavior.
+  int measure_retries = 0;
+  double retry_backoff_ms = 0.5;
+  double retry_backoff_cap_ms = 8.0;
+  /// Wall-clock deadline for the whole loop (0 = none): an expired drive
+  /// stops between batches with its best-so-far, never mid-measurement.
+  double timeout_ms = 0.0;
+  /// Cooperative cancellation, polled between batches (nullptr = never).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Set to true when the loop stopped early on deadline/cancellation
+  /// (optional out-param; anytime results are still valid).
+  bool* stopped_early = nullptr;
+
+  DriveOptions() = default;
+  /// Adopt the failure-domain fields of a resolved SearchConfig.
+  explicit DriveOptions(const SearchConfig& config)
+      : budget(config.budget),
+        measure_retries(config.measure_retries),
+        retry_backoff_ms(config.retry_backoff_ms),
+        retry_backoff_cap_ms(config.retry_backoff_cap_ms),
+        timeout_ms(config.timeout_ms),
+        cancel(config.cancel) {}
+};
 
 /// Run `strategy` until `budget` measured evaluations (SIZE_MAX = until the
 /// strategy is exhausted). `measure(tuning) -> double` is the expensive
@@ -34,10 +68,16 @@ namespace isaac::search {
 /// sequential strategies (simulated annealing) simply propose one candidate
 /// per round.
 ///
-/// A `measure` throw propagates to the caller (the pool rethrows the
-/// lowest-index failure, so equal runs fail identically); results of the
-/// failing batch never reach `observe`/`sink`, keeping anytime state
-/// consistent with what the caller was told.
+/// A `measure` throw is retried in place up to `measure_retries` times with
+/// capped exponential backoff (`search.measure_retry` counts attempts); a
+/// measurement still failing after its retries propagates to the caller (the
+/// pool rethrows the lowest-index failure, so equal runs fail identically).
+/// Results of the failing batch never reach `observe`/`sink`, keeping
+/// anytime state consistent with what the caller was told.
+///
+/// Deadline and cancellation are cooperative: polled between batches, so a
+/// drive stops with a complete batch's results sunk and its best-so-far
+/// usable (`search.deadline_exceeded` / `search.cancelled` count the stops).
 ///
 /// Model lifetime: any model the strategy's problem references must stay
 /// alive and unchanged for the whole drive() — under the online model
@@ -46,8 +86,8 @@ namespace isaac::search {
 /// (proposal, gflops) stream, surfaced as TuneResult::top) attributable to
 /// exactly one model version in the observation log.
 template <typename Op, typename MeasureFn, typename SinkFn>
-std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const MeasureFn& measure,
-                  const SinkFn& sink) {
+std::size_t drive(SearchStrategy<Op>& strategy, const DriveOptions& options,
+                  const MeasureFn& measure, const SinkFn& sink) {
   // Proposal batch: big enough to amortize parallel measurement, small
   // enough that adaptive strategies get frequent feedback.
   constexpr std::size_t kBatch = 64;
@@ -55,7 +95,33 @@ std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const Measur
   // points is never useful, and it bounds "unlimited" budgets for strategies
   // that never return an empty batch (genetic fallbacks, annealing restarts).
   const std::size_t target =
-      std::min<std::size_t>(budget, std::max<std::size_t>(strategy.space_points(), 1));
+      std::min<std::size_t>(options.budget, std::max<std::size_t>(strategy.space_points(), 1));
+  // Wrap the oracle with bounded retry: a transient throw (an injected fault,
+  // a flaky device) is retried in place after a capped exponential backoff;
+  // the retried measurement is as deterministic as the original, so a retry
+  // that succeeds yields the same score a fault-free run would have.
+  const auto measure_with_retry = [&](const auto& tuning) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return measure(tuning);
+      } catch (...) {
+        ISAAC_TM_COUNT("fault.measure_failures");
+        if (attempt >= options.measure_retries) throw;
+        ISAAC_TM_COUNT("search.measure_retry");
+        const double backoff_ms = std::min(options.retry_backoff_cap_ms,
+                                           options.retry_backoff_ms * double(1 << attempt));
+        if (backoff_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(static_cast<std::int64_t>(backoff_ms * 1000.0)));
+        }
+      }
+    }
+  };
+  const auto deadline = options.timeout_ms > 0.0
+                            ? std::chrono::steady_clock::now() +
+                                  std::chrono::microseconds(
+                                      static_cast<std::int64_t>(options.timeout_ms * 1000.0))
+                            : std::chrono::steady_clock::time_point::max();
   // Schedule-dependent strategies (annealing's temperature decay) pace
   // themselves against the clamped target, not the raw request — an
   // "unlimited" SIZE_MAX budget would otherwise leave their schedule frozen
@@ -64,6 +130,16 @@ std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const Measur
   std::size_t measured = 0;
   std::vector<double> scores;
   while (measured < target) {
+    if (options.cancel && options.cancel->load(std::memory_order_relaxed)) {
+      ISAAC_TM_COUNT("search.cancelled");
+      if (options.stopped_early) *options.stopped_early = true;
+      break;
+    }
+    if (options.timeout_ms > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+      ISAAC_TM_COUNT("search.deadline_exceeded");
+      if (options.stopped_early) *options.stopped_early = true;
+      break;
+    }
     const std::size_t want = std::min<std::size_t>(kBatch, target - measured);
     const std::uint64_t t_propose = telemetry::enabled() ? telemetry::now_us() : 0;
     auto proposals = [&] {
@@ -81,10 +157,11 @@ std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const Measur
     {
       telemetry::Span measure_span("search.measure");
       if (proposals.size() > 1) {
-        ThreadPool::global().parallel_for_each(
-            proposals.size(), [&](std::size_t i) { scores[i] = measure(proposals[i].tuning); });
+        ThreadPool::global().parallel_for_each(proposals.size(), [&](std::size_t i) {
+          scores[i] = measure_with_retry(proposals[i].tuning);
+        });
       } else {
-        scores[0] = measure(proposals[0].tuning);
+        scores[0] = measure_with_retry(proposals[0].tuning);
       }
     }
     if (t_measure) {
@@ -98,6 +175,17 @@ std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const Measur
     }
   }
   return measured;
+}
+
+/// Budget-only spelling (no retries, no deadline) — the pre-hardening
+/// behavior, kept for callers like the offline collector that want a failing
+/// measurement to abort immediately.
+template <typename Op, typename MeasureFn, typename SinkFn>
+std::size_t drive(SearchStrategy<Op>& strategy, std::size_t budget, const MeasureFn& measure,
+                  const SinkFn& sink) {
+  DriveOptions options;
+  options.budget = budget;
+  return drive(strategy, options, measure, sink);
 }
 
 }  // namespace isaac::search

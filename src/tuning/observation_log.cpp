@@ -1,6 +1,7 @@
 #include "tuning/observation_log.hpp"
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "telemetry/metrics.hpp"
@@ -136,32 +138,33 @@ std::vector<Observation> ObservationLog::load(std::istream& is) {
     if (parse_line(line, obs)) {
       out.push_back(std::move(obs));
     } else {
+      ISAAC_TM_COUNT("obslog.load_corrupt");
       ISAAC_LOG_WARN() << "observation log: skipping malformed line: " << line;
     }
   }
   return out;
 }
 
-void ObservationLog::append_to_disk(const Observation& obs) const {
-  if (directory_.empty()) return;
+bool ObservationLog::write_line_to_disk(const std::string& line) const {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   const std::filesystem::path file = log_file(directory_);
-  const std::string line = format_line(obs);
+  // Chaos site: disk-full / revoked-mount storms surface here as a failed
+  // write, exercising the memory-only degrade below.
+  if (ISAAC_FAILPOINT_FIRED("obslog.write_fail")) return false;
 #if ISAAC_HAVE_FLOCK
   // Exclusive-flocked O_APPEND write of the whole line in one syscall, so
   // concurrent writers (threads or separate processes) cannot tear it.
   const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    ISAAC_LOG_WARN() << "observation log: cannot write " << file.string();
-    return;
-  }
+  if (fd < 0) return false;
+  bool ok = false;
   if (::flock(fd, LOCK_EX) == 0) {
     std::size_t written = 0;
+    ok = true;
     while (written < line.size()) {
       const ssize_t n = ::write(fd, line.data() + written, line.size() - written);
       if (n <= 0) {
-        ISAAC_LOG_WARN() << "observation log: short write to " << file.string();
+        ok = false;
         break;
       }
       written += static_cast<std::size_t>(n);
@@ -169,14 +172,46 @@ void ObservationLog::append_to_disk(const Observation& obs) const {
     ::flock(fd, LOCK_UN);
   }
   ::close(fd);
+  return ok;
 #else
   std::ofstream os(file, std::ios::app);
-  if (!os) {
-    ISAAC_LOG_WARN() << "observation log: cannot write " << file.string();
+  if (!os) return false;
+  os << line;
+  return static_cast<bool>(os);
+#endif
+}
+
+void ObservationLog::append_to_disk(const Observation& obs) const {
+  if (directory_.empty()) return;
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  // Degraded: keep only the in-memory ring until the next re-probe window —
+  // a sick disk must not slow or break the measurement path. Skipped records
+  // are lost to the replay file but still reach training through the ring.
+  if (disk_degraded_.load(std::memory_order_relaxed) &&
+      now < disk_retry_at_us_.load(std::memory_order_relaxed)) {
+    disk_writes_skipped_.fetch_add(1, std::memory_order_relaxed);
+    ISAAC_TM_COUNT("obslog.disk_write_skipped");
     return;
   }
-  os << line;
-#endif
+  if (write_line_to_disk(format_line(obs))) {
+    if (disk_degraded_.exchange(false, std::memory_order_relaxed)) {
+      ISAAC_TM_COUNT("obslog.disk_recovered");
+      ISAAC_LOG_INFO() << "observation log: disk writes recovered, leaving memory-only mode";
+    }
+    return;
+  }
+  disk_retry_at_us_.store(now + disk_retry_us_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  if (!disk_degraded_.exchange(true, std::memory_order_relaxed)) {
+    ISAAC_TM_COUNT("obslog.disk_degraded");
+    ISAAC_LOG_WARN() << "observation log: disk append failed; degrading to memory-only with "
+                     << "periodic re-probe";
+  } else {
+    ISAAC_TM_COUNT("obslog.disk_reprobe_failed");
+  }
 }
 
 }  // namespace isaac::tuning

@@ -15,6 +15,7 @@
 // ones, and offline analysis can replay production traffic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
@@ -67,14 +68,31 @@ class ObservationLog {
 
   static const char* filename() noexcept { return "isaac_observations.txt"; }
 
+  /// Disk-write health: a failed append degrades the log to memory-only, with
+  /// one re-probe per retry interval (default 1s). The ring is unaffected —
+  /// training never stalls on a sick disk, only the durable replay file does.
+  bool disk_degraded() const noexcept { return disk_degraded_.load(std::memory_order_relaxed); }
+  std::uint64_t disk_writes_skipped() const noexcept {
+    return disk_writes_skipped_.load(std::memory_order_relaxed);
+  }
+  void set_disk_retry_ms(double ms) noexcept {
+    disk_retry_us_.store(ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0),
+                         std::memory_order_relaxed);
+  }
+
  private:
   void append_to_disk(const Observation& obs) const;
+  bool write_line_to_disk(const std::string& line) const;
 
   mutable std::mutex mutex_;
   std::deque<Observation> ring_;
   std::size_t capacity_;
   std::string directory_;
   std::uint64_t total_ = 0;
+  mutable std::atomic<bool> disk_degraded_{false};
+  mutable std::atomic<std::uint64_t> disk_retry_at_us_{0};
+  std::atomic<std::uint64_t> disk_retry_us_{1000000};
+  mutable std::atomic<std::uint64_t> disk_writes_skipped_{0};
 };
 
 }  // namespace isaac::tuning

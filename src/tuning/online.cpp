@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -70,6 +71,9 @@ Retrainer::Retrainer(RetrainConfig config) : config_(std::move(config)) {}
 
 mlp::VersionedModel Retrainer::retrain(const mlp::VersionedModel& base,
                                        const std::vector<Observation>& observations) const {
+  // Chaos site: training can genuinely throw (degenerate fold, numeric
+  // blow-up); Context's retrain backoff is what absorbs repeated failures.
+  ISAAC_FAILPOINT("retrain.throw");
   const Dataset delta = ObservationLog::to_dataset(observations);
   if (delta.size() < config_.min_observations) {
     throw std::invalid_argument(

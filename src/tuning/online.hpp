@@ -77,6 +77,12 @@ struct RetrainConfig {
   int epochs = 30;
   int batch_size = 32;
   double learning_rate = 2e-3;
+  /// A failed retrain (corrupt log fold, training blow-up) must not hot-loop
+  /// the background worker: consecutive failures back off exponentially from
+  /// `failure_backoff_ms` up to `failure_backoff_cap_ms` before the next
+  /// attempt is scheduled. One success resets the streak.
+  double failure_backoff_ms = 250.0;
+  double failure_backoff_cap_ms = 30000.0;
 };
 
 class Retrainer {
