@@ -41,7 +41,7 @@ void CircuitBreaker::open_locked(std::uint64_t now) {
 }
 
 bool CircuitBreaker::allow_request() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   switch (state_) {
     case State::closed:
       return true;
@@ -66,7 +66,7 @@ bool CircuitBreaker::allow_request() {
 }
 
 void CircuitBreaker::record_success() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   failures_ = 0;
   trial_inflight_ = false;
   if (state_ != State::closed) {
@@ -78,7 +78,7 @@ void CircuitBreaker::record_success() {
 }
 
 void CircuitBreaker::record_failure() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   ++failures_;
   switch (state_) {
     case State::closed:
@@ -96,17 +96,17 @@ void CircuitBreaker::record_failure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return state_;
 }
 
 std::uint64_t CircuitBreaker::opens() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return opens_;
 }
 
 std::size_t CircuitBreaker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return failures_;
 }
 

@@ -19,8 +19,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.hpp"
 
 namespace isaac {
 
@@ -61,17 +62,20 @@ class CircuitBreaker {
 
  private:
   std::uint64_t now_us() const;
-  void open_locked(std::uint64_t now);
+  void open_locked(std::uint64_t now) ISAAC_REQUIRES(mutex_);
 
   CircuitBreakerConfig config_;
   std::string name_;  // suffix for per-breaker telemetry ("" = anonymous)
 
-  mutable std::mutex mutex_;
-  State state_ = State::closed;
-  std::size_t failures_ = 0;        // consecutive, since last success
-  std::uint64_t opened_at_us_ = 0;  // steady-clock stamp of the last open
-  bool trial_inflight_ = false;     // the half-open probe has been handed out
-  std::uint64_t opens_ = 0;
+  mutable sync::Mutex mutex_{lock_rank::Rank::breaker};
+  State state_ ISAAC_GUARDED_BY(mutex_) = State::closed;
+  // consecutive failures, since last success
+  std::size_t failures_ ISAAC_GUARDED_BY(mutex_) = 0;
+  // steady-clock stamp of the last open
+  std::uint64_t opened_at_us_ ISAAC_GUARDED_BY(mutex_) = 0;
+  // the half-open probe has been handed out
+  bool trial_inflight_ ISAAC_GUARDED_BY(mutex_) = false;
+  std::uint64_t opens_ ISAAC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace isaac

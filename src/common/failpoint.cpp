@@ -3,9 +3,9 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
-#include <shared_mutex>
 
 #include "common/logging.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/strings.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -21,8 +21,8 @@ namespace {
 // call sites cache references). Sites are created on first use and never
 // erased; disarming only flips their trigger off.
 struct Registry {
-  std::shared_mutex mutex;
-  std::map<std::string, Failpoint, std::less<>> sites;
+  sync::SharedMutex mutex{lock_rank::Rank::failpoint_registry};
+  std::map<std::string, Failpoint, std::less<>> sites ISAAC_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -157,19 +157,21 @@ void Failpoint::disarm_locked() {
 }
 
 Failpoint& site(std::string_view name) {
+  // Escaping the reference past the lock is sound: sites are never erased,
+  // so the map node (and its Failpoint, which is all-atomic) is immortal.
   Registry& r = registry();
   {
-    std::shared_lock lock(r.mutex);
+    sync::ReaderMutexLock lock(r.mutex);
     const auto it = r.sites.find(name);
     if (it != r.sites.end()) return it->second;
   }
-  std::unique_lock lock(r.mutex);
+  sync::WriterMutexLock lock(r.mutex);
   return r.sites.try_emplace(std::string(name), std::string(name)).first->second;
 }
 
 void arm(const std::string& name, Spec spec) {
   Failpoint& fp = site(name);
-  std::unique_lock lock(registry().mutex);  // serialize arm/arm races
+  sync::WriterMutexLock lock(registry().mutex);  // serialize arm/arm races
   fp.arm_locked(spec);
   ISAAC_LOG_INFO() << "failpoint armed: " << name;
 }
@@ -178,14 +180,14 @@ void arm(const std::string& name, const std::string& spec) { arm(name, Spec::par
 
 void disarm(const std::string& name) {
   Registry& r = registry();
-  std::unique_lock lock(r.mutex);
+  sync::WriterMutexLock lock(r.mutex);
   const auto it = r.sites.find(name);
   if (it != r.sites.end()) it->second.disarm_locked();
 }
 
 void disarm_all() {
   Registry& r = registry();
-  std::unique_lock lock(r.mutex);
+  sync::WriterMutexLock lock(r.mutex);
   for (auto& [name, fp] : r.sites) fp.disarm_locked();
 }
 

@@ -5,13 +5,14 @@
 #include <cstdlib>
 
 #include "common/strings.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace isaac::log {
 
 namespace {
 
 std::atomic<Level> g_threshold{Level::Warn};
-std::mutex g_write_mutex;
+sync::Mutex g_write_mutex{lock_rank::Rank::logging};
 
 const char* tag(Level lvl) {
   switch (lvl) {
@@ -79,7 +80,7 @@ bool set_threshold_from_string(const std::string& name) noexcept {
 
 void write(Level lvl, const std::string& msg) {
   if (!enabled(lvl)) return;
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  sync::MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "[isaac %s] %s\n", tag(lvl), msg.c_str());
 }
 

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -39,7 +39,7 @@ void ThreadPool::submit(std::function<void()> task) {
     enqueue_us = telemetry::now_us();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     queue_.push(Task{std::move(task), enqueue_us});
   }
   cv_.notify_one();
@@ -49,8 +49,10 @@ void ThreadPool::worker_loop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      sync::MutexLock lock(mutex_);
+      // Explicit predicate loop: the lambda overload of wait() would hide the
+      // guarded stop_/queue_ reads from the thread-safety analysis.
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -83,11 +85,11 @@ struct ParallelForState {
   std::function<void(std::size_t, std::size_t)> fn;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::size_t first_error_chunk = 0;
+  sync::Mutex done_mutex{lock_rank::Rank::leaf};
+  sync::CondVar done_cv;
+  sync::Mutex error_mutex{lock_rank::Rank::leaf};
+  std::exception_ptr first_error ISAAC_GUARDED_BY(error_mutex);
+  std::size_t first_error_chunk ISAAC_GUARDED_BY(error_mutex) = 0;
 
   void run_chunks() {
     while (true) {
@@ -100,14 +102,14 @@ struct ParallelForState {
       } catch (...) {
         // First error *by index order* wins, not by wall-clock race: the
         // caller sees the same exception no matter how chunks interleave.
-        std::lock_guard<std::mutex> lock(error_mutex);
+        sync::MutexLock lock(error_mutex);
         if (!first_error || c < first_error_chunk) {
           first_error = std::current_exception();
           first_error_chunk = c;
         }
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        std::lock_guard<std::mutex> lock(done_mutex);
+        sync::MutexLock lock(done_mutex);
         done_cv.notify_all();
       }
     }
@@ -146,11 +148,20 @@ void ThreadPool::parallel_for(std::size_t n,
   state->run_chunks();
 
   {
-    std::unique_lock<std::mutex> lock(state->done_mutex);
-    state->done_cv.wait(
-        lock, [&] { return state->done.load(std::memory_order_acquire) == state->chunks; });
+    sync::MutexLock lock(state->done_mutex);
+    while (state->done.load(std::memory_order_acquire) != state->chunks) {
+      state->done_cv.wait(state->done_mutex);
+    }
   }
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  // first_error is guarded: a helper that lost the done-count race may still
+  // be inside its catch block, so read under the lock (finding from the
+  // annotation pass — the old code read it bare).
+  std::exception_ptr err;
+  {
+    sync::MutexLock lock(state->error_mutex);
+    err = state->first_error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& fn) {

@@ -9,15 +9,15 @@
 // `pool.task_exceptions` instead of letting the unwind terminate the process.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace isaac {
 
@@ -59,10 +59,10 @@ class ThreadPool {
   };
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  sync::Mutex mutex_{lock_rank::Rank::pool};
+  sync::CondVar cv_;
+  std::queue<Task> queue_ ISAAC_GUARDED_BY(mutex_);
+  bool stop_ ISAAC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace isaac

@@ -95,7 +95,7 @@ Context::~Context() {
 }
 
 CircuitBreaker& Context::breaker_for(std::string_view kind) {
-  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  sync::MutexLock lock(breaker_mutex_);
   const auto it = breakers_.find(kind);
   if (it != breakers_.end()) return it->second;
   CircuitBreakerConfig cfg;
@@ -106,8 +106,10 @@ CircuitBreaker& Context::breaker_for(std::string_view kind) {
 }
 
 void Context::drain_background() {
-  std::unique_lock<std::mutex> lock(background_mutex_);
-  background_cv_.wait(lock, [this] { return background_pending_ == 0; });
+  sync::MutexLock lock(background_mutex_);
+  // Explicit predicate loop: the lambda overload would hide the guarded
+  // background_pending_ read from the thread-safety analysis.
+  while (background_pending_ != 0) background_cv_.wait(background_mutex_);
 }
 
 void Context::train_model(std::size_t samples, int epochs) {
@@ -132,7 +134,7 @@ void Context::set_model(mlp::Regressor model) {
   {
     // Version assignment and publication under one lock so racing installs
     // cannot mint the same version id.
-    std::lock_guard<std::mutex> lock(model_mutex_);
+    sync::MutexLock lock(model_mutex_);
     const std::uint64_t parent = model_ ? model_->version() : 0;
     mlp::TrainProvenance prov;
     prov.source = "install";
@@ -153,7 +155,7 @@ void Context::install_model(std::shared_ptr<const mlp::VersionedModel> model) {
   if (!model) throw std::invalid_argument("Context::install_model: null model");
   telemetry::Span span("model.swap");
   {
-    std::lock_guard<std::mutex> lock(model_mutex_);
+    sync::MutexLock lock(model_mutex_);
     model.swap(model_);
   }
   // `model` now holds the predecessor; dropping it here (outside the lock)
@@ -168,7 +170,7 @@ void Context::install_model(std::shared_ptr<const mlp::VersionedModel> model) {
 }
 
 std::shared_ptr<const mlp::VersionedModel> Context::model_snapshot() const noexcept {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  sync::MutexLock lock(model_mutex_);
   return model_;
 }
 
@@ -204,7 +206,7 @@ bool Context::schedule_retrain() {
   last_retrain_mark_.store(observations_recorded_.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(background_mutex_);
+    sync::MutexLock lock(background_mutex_);
     ++background_pending_;
   }
   ISAAC_TM_COUNT("model.retrain_enqueued");
@@ -215,7 +217,7 @@ bool Context::schedule_retrain() {
     // background_pending_ == 0 cannot resume (and free `this`) until this
     // task's unlock, after which the task touches nothing of `this`.
     {
-      std::lock_guard<std::mutex> lock(background_mutex_);
+      sync::MutexLock lock(background_mutex_);
       --background_pending_;
       background_cv_.notify_all();
     }

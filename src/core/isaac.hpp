@@ -25,13 +25,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -43,6 +41,7 @@
 #include <vector>
 
 #include "common/circuit_breaker.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
@@ -418,17 +417,20 @@ class Context {
   // pin a snapshot once per operation (model_snapshot()), writers swap the
   // pointer; the old version dies when its last pinned reader drops it —
   // never mid-ranking, never under a lock.
-  mutable std::mutex model_mutex_;
-  std::shared_ptr<const mlp::VersionedModel> model_;
+  mutable sync::Mutex model_mutex_{lock_rank::Rank::model};
+  std::shared_ptr<const mlp::VersionedModel> model_ ISAAC_GUARDED_BY(model_mutex_);
 
   ProfileCache cache_;
 
   // Single-flight state: key -> future completed once the key is in cache_.
   // refining_ holds keys whose background refinement is pending or done (see
-  // maybe_refine).
-  std::mutex inflight_mutex_;
-  std::unordered_map<std::string, std::shared_future<void>> inflight_;
-  std::unordered_set<std::string> refining_;
+  // maybe_refine). Acquisition order: inflight_mutex_ may be held while the
+  // cache takes a shard lock (select()'s under-lock recheck), never the
+  // reverse — rank inflight sits above cache_shard for exactly that edge.
+  sync::Mutex inflight_mutex_{lock_rank::Rank::inflight};
+  std::unordered_map<std::string, std::shared_future<void>> inflight_
+      ISAAC_GUARDED_BY(inflight_mutex_);
+  std::unordered_set<std::string> refining_ ISAAC_GUARDED_BY(inflight_mutex_);
   /// Retry-then-drop bookkeeping for failing refinements, guarded by
   /// inflight_mutex_ like the set above. attempts counts failures inside the
   /// current reset window; entries older than refine_retry_reset_ms are
@@ -437,15 +439,21 @@ class Context {
     int attempts = 0;
     std::uint64_t last_failure_us = 0;
   };
-  std::unordered_map<std::string, RefineBackoff> refine_backoff_;
+  std::unordered_map<std::string, RefineBackoff> refine_backoff_
+      ISAAC_GUARDED_BY(inflight_mutex_);
   std::atomic<std::size_t> tuning_runs_{0};
   std::atomic<std::size_t> predictions_{0};
   std::atomic<std::size_t> refinements_{0};
 
   // Fault-tolerance state. One breaker per op kind: a conv-specific fault
   // (say, a poisoned conv ranking) must not degrade gemm dispatch.
-  std::mutex breaker_mutex_;
-  std::map<std::string, CircuitBreaker, std::less<>> breakers_;
+  // breaker_map ranks above breaker: breaker_for() holds the map lock while
+  // try_emplace runs each CircuitBreaker's constructor (which touches the
+  // breaker's own mutex-guarded state only after construction, but the
+  // ordering keeps "map lock outside any one breaker's lock" explicit).
+  sync::Mutex breaker_mutex_{lock_rank::Rank::breaker_map};
+  std::map<std::string, CircuitBreaker, std::less<>> breakers_
+      ISAAC_GUARDED_BY(breaker_mutex_);
   std::atomic<std::size_t> refine_pending_{0};
   std::atomic<std::size_t> fallbacks_{0};
   std::atomic<std::size_t> breaker_short_circuits_{0};
@@ -473,9 +481,18 @@ class Context {
 
   // Outstanding background tasks — warmup selections, refinements and
   // retrains (they capture `this`); ~Context waits on zero.
-  std::mutex background_mutex_;
-  std::condition_variable background_cv_;
-  std::size_t background_pending_ = 0;
+  //
+  // Documented order vs inflight_mutex_ (the ISSUE-10 finding): today no
+  // thread holds both, but maybe_refine() and the refinement task acquire
+  // them back-to-back in the order inflight → background-released →
+  // background — so the declared order, should nesting ever become
+  // necessary, is background OUTSIDE inflight (rank 60 > 50), and the
+  // acquired_before attribute makes Clang enforce it the first time someone
+  // nests them.
+  sync::Mutex background_mutex_ ISAAC_ACQUIRED_BEFORE(inflight_mutex_){
+      lock_rank::Rank::background};
+  sync::CondVar background_cv_;
+  std::size_t background_pending_ ISAAC_GUARDED_BY(background_mutex_) = 0;
 };
 
 template <typename Op>
@@ -517,7 +534,9 @@ typename OperationTraits<Op>::Tuning Context::select(
     std::shared_future<void> flight;
     bool leader = false;
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      // Holds inflight (rank 50) across a cache_.lookup that takes a shard
+      // lock (rank 30) — the inflight → cache_shard edge in the rank table.
+      sync::MutexLock lock(inflight_mutex_);
       // Re-check under the lock: a leader stores to cache before erasing its
       // flight, so a miss here plus an absent flight really means cold.
       if (const auto cached = cache_.lookup<Op>(dev, shape, &hit_tier)) {
@@ -617,7 +636,7 @@ typename OperationTraits<Op>::Tuning Context::select(
         promise.set_exception(error);
       }
       {
-        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        sync::MutexLock lock(inflight_mutex_);
         inflight_.erase(key);
       }
       if (error) std::rethrow_exception(error);
@@ -660,7 +679,7 @@ void Context::maybe_refine(const std::string& key,
   const std::uint64_t reset_us =
       static_cast<std::uint64_t>(options_.fault.refine_retry_reset_ms * 1000.0);
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    sync::MutexLock lock(inflight_mutex_);
     const auto backoff = refine_backoff_.find(key);
     if (backoff != refine_backoff_.end()) {
       if (now_us - backoff->second.last_failure_us >= reset_us) {
@@ -683,12 +702,12 @@ void Context::maybe_refine(const std::string& key,
     refine_pending_.fetch_sub(1, std::memory_order_acq_rel);
     refinements_shed_.fetch_add(1, std::memory_order_relaxed);
     ISAAC_TM_COUNT("refine.shed");
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    sync::MutexLock lock(inflight_mutex_);
     refining_.erase(key);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(background_mutex_);
+    sync::MutexLock lock(background_mutex_);
     ++background_pending_;
   }
   ISAAC_TM_COUNT("refine.enqueued");
@@ -780,7 +799,7 @@ void Context::maybe_refine(const std::string& key,
       if (begin_us) ISAAC_TM_RECORD("refine.run_us", telemetry::now_us() - begin_us);
     }
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      sync::MutexLock lock(inflight_mutex_);
       if (failed) {
         refining_.erase(key);
         // Retry-then-drop: count this failure against the key's window. Under
@@ -814,7 +833,7 @@ void Context::maybe_refine(const std::string& key,
     // background_pending_ == 0 cannot resume (and free `this`) until this
     // task's unlock, after which the task touches nothing of `this`.
     {
-      std::lock_guard<std::mutex> lock(background_mutex_);
+      sync::MutexLock lock(background_mutex_);
       --background_pending_;
       background_cv_.notify_all();
     }
@@ -826,8 +845,8 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
   struct WarmupState {
     std::atomic<std::size_t> remaining;
     std::promise<void> done;
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
+    sync::Mutex error_mutex{lock_rank::Rank::leaf};
+    std::exception_ptr first_error ISAAC_GUARDED_BY(error_mutex);
   };
   auto state = std::make_shared<WarmupState>();
   auto future = state->done.get_future();
@@ -838,7 +857,7 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
   state->remaining.store(shapes.size());
   ISAAC_TM_COUNT_N("warmup.shapes", shapes.size());
   {
-    std::lock_guard<std::mutex> lock(background_mutex_);
+    sync::MutexLock lock(background_mutex_);
     background_pending_ += shapes.size();
   }
   for (auto& shape : shapes) {
@@ -846,12 +865,21 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
       try {
         select<Op>(shape);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->error_mutex);
+        sync::MutexLock lock(state->error_mutex);
         if (!state->first_error) state->first_error = std::current_exception();
       }
       if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        if (state->first_error) {
-          state->done.set_exception(state->first_error);
+        // Read under the lock: the decrement orders "every task finished its
+        // catch", but first_error is a guarded member and the lock is what
+        // publishes the write (finding from the annotation pass — the old
+        // code read it bare).
+        std::exception_ptr err;
+        {
+          sync::MutexLock lock(state->error_mutex);
+          err = state->first_error;
+        }
+        if (err) {
+          state->done.set_exception(err);
         } else {
           state->done.set_value();
         }
@@ -860,7 +888,7 @@ std::future<void> Context::warmup(std::vector<typename OperationTraits<Op>::Shap
       // background_pending_ == 0 cannot resume (and free `this`) until this
       // task's unlock, after which the task touches nothing of `this`.
       {
-        std::lock_guard<std::mutex> lock(background_mutex_);
+        sync::MutexLock lock(background_mutex_);
         --background_pending_;
         background_cv_.notify_all();
       }

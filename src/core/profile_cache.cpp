@@ -170,8 +170,13 @@ void ProfileCache::load_from_disk() {
   }
 #endif
 
+  // The constructor runs single-threaded, but the shard maps are guarded
+  // members: take each writer lock anyway (uncontended, one-time cost) so the
+  // population is analysis-clean instead of an escape hatch.
   for (auto& [key, entry] : live) {
-    shard_for(key).entries.emplace(key, std::move(entry));
+    Shard& shard = shard_for(key);
+    sync::WriterMutexLock lock(shard.mutex);
+    shard.entries.emplace(key, std::move(entry));
   }
   ISAAC_TM_COUNT_N("cache.loaded_entries", live.size());
   if (load_corrupt_ > 0) {

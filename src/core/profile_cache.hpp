@@ -42,11 +42,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "core/operation.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -89,7 +88,7 @@ class ProfileCache {
     Shard& shard = shard_for(k);
     std::string encoded;
     {
-      std::shared_lock lock(shard.mutex);
+      sync::ReaderMutexLock lock(shard.mutex);
       const auto it = shard.entries.find(k);
       if (it == shard.entries.end()) {
         shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
@@ -112,7 +111,7 @@ class ProfileCache {
     if (!OperationTraits<Op>::decode_tuning(encoded, tuning)) return std::nullopt;
     {
       // Memoize the decode for disk-loaded entries (paid once per entry).
-      std::unique_lock lock(shard.mutex);
+      sync::WriterMutexLock lock(shard.mutex);
       const auto it = shard.entries.find(k);
       if (it != shard.entries.end() && !it->second.decoded.has_value() &&
           it->second.encoded == encoded) {
@@ -135,7 +134,7 @@ class ProfileCache {
     // order matches the in-memory last-writer order when stores race on one
     // key (same key -> same shard).
     const EntryTier entry_tier = tier_from_meta(meta);
-    std::unique_lock lock(shard.mutex);
+    sync::WriterMutexLock lock(shard.mutex);
     shard.stats.stores.fetch_add(1, std::memory_order_relaxed);
     ISAAC_TM_COUNT("cache.store");
     append_to_disk(k, value, meta);
@@ -154,8 +153,10 @@ class ProfileCache {
     const std::string value = OperationTraits<Op>::encode_tuning(tuning);
     Shard& shard = shard_for(k);
     const EntryTier entry_tier = tier_from_meta(meta);
+    // Span declared before the lock scope: its destructor pushes to the trace
+    // ring *after* the shard unlocks, so no trace-ring lock nests in here.
     telemetry::Span span("cache.upgrade");
-    std::unique_lock lock(shard.mutex);
+    sync::WriterMutexLock lock(shard.mutex);
     const auto it = shard.entries.find(k);
     if (it != shard.entries.end() && it->second.tier == EntryTier::refined) {
       shard.stats.upgrade_rejects.fetch_add(1, std::memory_order_relaxed);
@@ -179,7 +180,7 @@ class ProfileCache {
   /// when the key is absent. Key derivation via key<Op>().
   std::optional<std::string> meta(const std::string& key) const {
     Shard& shard = shard_for(key);
-    std::shared_lock lock(shard.mutex);
+    sync::ReaderMutexLock lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it == shard.entries.end()) return std::nullopt;
     return it->second.meta;
@@ -188,7 +189,7 @@ class ProfileCache {
   /// The tier recorded for a key; nullopt when the key is absent.
   std::optional<EntryTier> tier(const std::string& key) const {
     Shard& shard = shard_for(key);
-    std::shared_lock lock(shard.mutex);
+    sync::ReaderMutexLock lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it == shard.entries.end()) return std::nullopt;
     return it->second.tier;
@@ -197,7 +198,7 @@ class ProfileCache {
   std::size_t size() const noexcept {
     std::size_t total = 0;
     for (const auto& shard : shards_) {
-      std::shared_lock lock(shard.mutex);
+      sync::ReaderMutexLock lock(shard.mutex);
       total += shard.entries.size();
     }
     return total;
@@ -307,9 +308,9 @@ class ProfileCache {
     std::atomic<std::uint64_t> upgrade_rejects{0};
   };
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::map<std::string, Entry> entries;
-    mutable ShardStats stats;
+    mutable sync::SharedMutex mutex{lock_rank::Rank::cache_shard};
+    std::map<std::string, Entry> entries ISAAC_GUARDED_BY(mutex);
+    mutable ShardStats stats;  // atomics: updated adjacent to, not under, the lock
   };
 
   Shard& shard_for(const std::string& key) const {

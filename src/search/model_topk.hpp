@@ -51,6 +51,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "search/legal_walk.hpp"
 #include "search/random.hpp"  // choice_hash
@@ -212,6 +213,27 @@ std::vector<std::uint64_t> build_skeleton_points(
   return skeleton;
 }
 
+/// The process-wide skeleton cache, shared by every op (keys embed
+/// Traits::kind(), so one map serves all instantiations). Previously a pair
+/// of function-local statics per template instantiation behind an anonymous
+/// std::mutex; naming it gives the lock a capability the thread-safety
+/// analysis can see and a rank the deadlock detector can order — skeleton
+/// (40) sits above cache_shard and pool because a builder thread holds no
+/// other lock, but the single-flight future it publishes is awaited by
+/// rankings that may hold nothing either; the build itself (parallel_for)
+/// runs with the map mutex released.
+struct SkeletonCache {
+  using Skeleton = std::shared_ptr<const std::vector<std::uint64_t>>;
+  sync::Mutex mutex{lock_rank::Rank::skeleton};
+  std::unordered_map<std::string, std::shared_future<Skeleton>> futures
+      ISAAC_GUARDED_BY(mutex);
+};
+
+inline SkeletonCache& skeleton_cache() {
+  static SkeletonCache* c = new SkeletonCache();  // immortal: outlives static dtors
+  return *c;
+}
+
 /// The structural skeleton: ascending flat indices of every X̂ point that
 /// passes validation against the op's relaxed shape (shape-independent
 /// checks only, by relax_shape's contract). Computed once per process per
@@ -235,9 +257,8 @@ std::shared_ptr<const std::vector<std::uint64_t>> structural_skeleton(
                             device_limits_signature(*problem.device) + '|' +
                             Traits::shape_key(relaxed) + '|' + domains_signature(domains);
 
-    using Skeleton = std::shared_ptr<const std::vector<std::uint64_t>>;
-    static std::mutex mutex;
-    static std::unordered_map<std::string, std::shared_future<Skeleton>> cache;
+    using Skeleton = SkeletonCache::Skeleton;
+    SkeletonCache& sk = skeleton_cache();
     // Single-flight *per key*: the first ranking of a class pays the one
     // full sweep (which the pre-skeleton code paid on *every* ranking) and
     // publishes through a future, so concurrent rankings of the same class
@@ -247,12 +268,12 @@ std::shared_ptr<const std::vector<std::uint64_t>> structural_skeleton(
     std::shared_future<Skeleton> fut;
     bool builder = false;
     {
-      std::lock_guard<std::mutex> lock(mutex);
-      auto it = cache.find(key);
-      if (it != cache.end()) {
+      sync::MutexLock lock(sk.mutex);
+      auto it = sk.futures.find(key);
+      if (it != sk.futures.end()) {
         fut = it->second;
       } else {
-        fut = cache.emplace(key, promise.get_future().share()).first->second;
+        fut = sk.futures.emplace(key, promise.get_future().share()).first->second;
         builder = true;
       }
     }
@@ -269,8 +290,8 @@ std::shared_ptr<const std::vector<std::uint64_t>> structural_skeleton(
       // Un-publish the failed build so a later ranking can retry, and wake
       // any waiters with the error instead of leaving them hung.
       {
-        std::lock_guard<std::mutex> lock(mutex);
-        cache.erase(key);
+        sync::MutexLock lock(sk.mutex);
+        sk.futures.erase(key);
       }
       promise.set_exception(std::current_exception());
       throw;

@@ -5,8 +5,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "telemetry/trace.hpp"
 
 namespace isaac::telemetry {
@@ -74,11 +74,14 @@ namespace {
 /// across rehashes and for the process lifetime (entries are never erased).
 template <typename T>
 struct Family {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<T>, std::less<>> items;
+  sync::Mutex mutex{lock_rank::Rank::telemetry_registry};
+  std::map<std::string, std::unique_ptr<T>, std::less<>> items ISAAC_GUARDED_BY(mutex);
 
+  // Returning a reference out of the locked scope is sound (and analysis-
+  // clean): the unique_ptr node is never erased, so the instrument outlives
+  // the registry lock and is itself lock-free.
   T& get(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex);
+    sync::MutexLock lock(mutex);
     auto it = items.find(name);
     if (it == items.end()) {
       it = items.emplace(std::string(name), std::make_unique<T>()).first;
@@ -86,9 +89,12 @@ struct Family {
     return *it->second;
   }
 
+  // fn runs under the registry mutex (rank telemetry_registry): it must not
+  // take any lock at or above that rank. The snapshot/reset visitors only
+  // read atomics, which is the point.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    std::lock_guard<std::mutex> lock(mutex);
+    sync::MutexLock lock(mutex);
     for (const auto& [name, item] : items) fn(name, *item);
   }
 };

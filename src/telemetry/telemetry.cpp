@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -12,6 +11,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace isaac::telemetry {
 
@@ -226,17 +226,17 @@ DumpConfig& dump_config() {
 }
 
 struct Flusher {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::thread thread;
-  std::string path;
-  unsigned interval_ms = 0;
-  bool stop = false;
+  sync::Mutex mutex{lock_rank::Rank::telemetry_flush};
+  sync::CondVar cv;
+  std::thread thread;  // start/shutdown are externally serialized; join runs unlocked
+  std::string path ISAAC_GUARDED_BY(mutex);
+  unsigned interval_ms ISAAC_GUARDED_BY(mutex) = 0;
+  bool stop ISAAC_GUARDED_BY(mutex) = false;
 
   ~Flusher() { shutdown(); }
 
   void start(std::string p, unsigned ms) {
-    std::unique_lock<std::mutex> lock(mutex);
+    sync::MutexLock lock(mutex);
     path = std::move(p);
     interval_ms = ms == 0 ? 1000 : ms;
     if (thread.joinable()) {
@@ -249,7 +249,7 @@ struct Flusher {
 
   void shutdown() {
     {
-      std::unique_lock<std::mutex> lock(mutex);
+      sync::MutexLock lock(mutex);
       if (!thread.joinable()) return;
       stop = true;
     }
@@ -258,22 +258,27 @@ struct Flusher {
     // One final flush so the file reflects the complete run.
     std::string p;
     {
-      std::unique_lock<std::mutex> lock(mutex);
+      sync::MutexLock lock(mutex);
       p = path;
     }
     if (!p.empty()) dump_to_file(p);
   }
 
+  // Manual lock()/unlock() instead of a scoped guard: the dump must run with
+  // the mutex dropped (dump_to_file takes telemetry_registry, then the trace
+  // ring, then logging — all below telemetry_flush, but the file write is
+  // slow and start()/shutdown() must not block behind it).
   void loop() {
-    std::unique_lock<std::mutex> lock(mutex);
+    mutex.lock();
     while (!stop) {
-      cv.wait_for(lock, std::chrono::milliseconds(interval_ms));
+      cv.wait_for(mutex, std::chrono::milliseconds(interval_ms));
       if (stop) break;
       const std::string p = path;
-      lock.unlock();
+      mutex.unlock();
       if (!p.empty()) dump_to_file(p);
-      lock.lock();
+      mutex.lock();
     }
+    mutex.unlock();
   }
 };
 

@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace isaac::telemetry {
@@ -15,13 +15,13 @@ std::atomic<std::uint64_t> g_next_id{1};
 thread_local std::uint64_t t_current_span = 0;
 
 struct Ring {
-  std::mutex mutex;
-  std::vector<SpanRecord> records;
-  std::size_t capacity = std::size_t{1} << 15;
-  std::uint64_t dropped = 0;
+  sync::Mutex mutex{lock_rank::Rank::telemetry_trace};
+  std::vector<SpanRecord> records ISAAC_GUARDED_BY(mutex);
+  std::size_t capacity ISAAC_GUARDED_BY(mutex) = std::size_t{1} << 15;
+  std::uint64_t dropped ISAAC_GUARDED_BY(mutex) = 0;
 
   void push(const SpanRecord& r) {
-    std::lock_guard<std::mutex> lock(mutex);
+    sync::MutexLock lock(mutex);
     if (records.size() >= capacity) {
       // Drop-new: the bound protects memory; early records (the cold
       // dispatches worth reconstructing) survive, and the dropped count
@@ -110,14 +110,14 @@ std::uint64_t Span::elapsed_us() const noexcept {
 
 std::vector<SpanRecord> trace_spans(std::uint64_t* dropped) {
   Ring& r = ring();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  sync::MutexLock lock(r.mutex);
   if (dropped) *dropped = r.dropped;
   return r.records;
 }
 
 void set_trace_capacity(std::size_t capacity) {
   Ring& r = ring();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  sync::MutexLock lock(r.mutex);
   r.capacity = capacity == 0 ? 1 : capacity;
   r.records.clear();
   r.records.shrink_to_fit();
@@ -126,7 +126,7 @@ void set_trace_capacity(std::size_t capacity) {
 
 void clear_trace() {
   Ring& r = ring();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  sync::MutexLock lock(r.mutex);
   r.records.clear();
   r.dropped = 0;
 }

@@ -247,7 +247,7 @@ CollectionReport collect_impl(const gpusim::Simulator& sim, const CollectorConfi
   ISAAC_TM_COUNT_N("collect.samples", report.dataset.size());
   ISAAC_TM_COUNT_N("collect.attempted", report.generation.attempted);
   ISAAC_TM_COUNT_N("collect.accepted", report.generation.accepted);
-  if (t0) ISAAC_TM_RECORD("collect.us", telemetry::now_us() - t0);
+  if (t0) ISAAC_TM_RECORD("collect.run_us", telemetry::now_us() - t0);
 
   ISAAC_LOG_INFO() << "collected " << report.dataset.size() << " samples (model acceptance "
                    << report.generation.rate() * 100.0 << "%, simulated device time "

@@ -85,7 +85,7 @@ ObservationLog::ObservationLog(std::size_t capacity, std::string directory)
 void ObservationLog::append(Observation obs) {
   append_to_disk(obs);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     if (ring_.size() >= capacity_) ring_.pop_front();
     ring_.push_back(std::move(obs));
     ++total_;
@@ -94,22 +94,22 @@ void ObservationLog::append(Observation obs) {
 }
 
 std::size_t ObservationLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return ring_.size();
 }
 
 std::uint64_t ObservationLog::total_appended() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return total_;
 }
 
 std::vector<Observation> ObservationLog::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::vector<Observation> ObservationLog::drain() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   std::vector<Observation> out{std::make_move_iterator(ring_.begin()),
                                std::make_move_iterator(ring_.end())};
   ring_.clear();

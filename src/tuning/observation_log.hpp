@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "tuning/dataset.hpp"
 
 namespace isaac::tuning {
@@ -84,11 +84,13 @@ class ObservationLog {
   void append_to_disk(const Observation& obs) const;
   bool write_line_to_disk(const std::string& line) const;
 
-  mutable std::mutex mutex_;
-  std::deque<Observation> ring_;
+  // obslog is a leaf-side rank: append() writes the disk line *before*
+  // taking it, so no failpoint/telemetry/logging lock ever nests inside.
+  mutable sync::Mutex mutex_{lock_rank::Rank::obslog};
+  std::deque<Observation> ring_ ISAAC_GUARDED_BY(mutex_);
   std::size_t capacity_;
   std::string directory_;
-  std::uint64_t total_ = 0;
+  std::uint64_t total_ ISAAC_GUARDED_BY(mutex_) = 0;
   mutable std::atomic<bool> disk_degraded_{false};
   mutable std::atomic<std::uint64_t> disk_retry_at_us_{0};
   std::atomic<std::uint64_t> disk_retry_us_{1000000};

@@ -29,7 +29,7 @@ bool DriftDetector::observe(std::string_view op, double predicted_gflops,
     telemetry::histogram(std::string("model.rel_err_pct.") += op).record(rel * 100.0);
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto it = per_op_.find(op);
   if (it == per_op_.end()) {
     it = per_op_.emplace(std::string(op), Window{}).first;
@@ -54,7 +54,7 @@ bool DriftDetector::observe(std::string_view op, double predicted_gflops,
 }
 
 double DriftDetector::mean_rel_error(std::string_view op) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = per_op_.find(op);
   if (it == per_op_.end() || it->second.filled == 0) return 0.0;
   double sum = 0.0;
@@ -63,7 +63,7 @@ double DriftDetector::mean_rel_error(std::string_view op) const {
 }
 
 void DriftDetector::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   per_op_.clear();
 }
 

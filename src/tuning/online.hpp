@@ -18,11 +18,11 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "mlp/versioned_model.hpp"
 #include "tuning/observation_log.hpp"
 
@@ -63,8 +63,8 @@ class DriftDetector {
   };
 
   DriftConfig config_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Window, std::less<>> per_op_;
+  mutable sync::Mutex mutex_{lock_rank::Rank::drift};
+  std::map<std::string, Window, std::less<>> per_op_ ISAAC_GUARDED_BY(mutex_);
 };
 
 struct RetrainConfig {
